@@ -1,0 +1,265 @@
+(* depnn: command-line front end.
+
+   Subcommands mirror the methodology pipeline so each pillar can be run
+   (and its artefact inspected) in isolation:
+
+     depnn generate --samples 2000 --risky 0.25 --out data.log
+     depnn audit    --samples 2000 --risky 0.25
+     depnn train    --width 20 --epochs 20 --out predictor.net
+     depnn verify   predictor.net --threshold 1.5 --time-limit 60
+     depnn trace    predictor.net
+     depnn simulate predictor.net
+     depnn certify  --width 10 *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let samples_arg =
+  Arg.(value & opt int 1500 & info [ "samples" ] ~docv:"N" ~doc:"Scenes to record.")
+
+let risky_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "risky" ] ~docv:"P"
+        ~doc:"Blind-spot failure rate of the recording expert.")
+
+let width_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "width" ] ~docv:"N" ~doc:"Hidden width of the I4xN architecture.")
+
+let epochs_arg =
+  Arg.(value & opt int 20 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
+
+let components = 3
+
+let record ~seed ~samples ~risky =
+  let rng = Linalg.Rng.create seed in
+  Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky risky)
+    ~n_samples:samples ()
+
+let clean_data ~seed ~samples ~risky =
+  let dataset = Dataset.of_samples (record ~seed ~samples ~risky) in
+  Sanitizer.sanitize dataset
+
+(* {1 generate} *)
+
+let generate seed samples risky out =
+  let recorded = record ~seed ~samples ~risky in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun s ->
+          Array.iter (Printf.fprintf oc "%.17g ") s.Highway.Recorder.features;
+          Printf.fprintf oc "| %.17g %.17g\n" s.Highway.Recorder.lat_velocity
+            s.Highway.Recorder.lon_accel)
+        recorded);
+  Printf.printf "wrote %d samples to %s\n" (Array.length recorded) out
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt string "driving.log"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Record driving scenes with the expert policy.")
+    Term.(const generate $ seed_arg $ samples_arg $ risky_arg $ out)
+
+(* {1 audit} *)
+
+let audit seed samples risky =
+  let _, report = clean_data ~seed ~samples ~risky in
+  print_string (Sanitizer.render_report report)
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Run the pillar-C data sanitizer and print the audit.")
+    Term.(const audit $ seed_arg $ samples_arg $ risky_arg)
+
+(* {1 train} *)
+
+let train seed samples risky width epochs out =
+  let clean, report = clean_data ~seed ~samples ~risky in
+  Printf.printf "training on %d sanitized samples (%d rejected)\n"
+    report.Sanitizer.accepted
+    (report.Sanitizer.total - report.Sanitizer.accepted);
+  let rng = Linalg.Rng.create (seed + 1) in
+  let net =
+    Nn.Network.i4xn ~rng ~output_dim:(Nn.Gmm.output_dim ~components) width
+  in
+  let config =
+    {
+      (Train.Trainer.default ~loss:(Train.Loss.Mdn { components }) ()) with
+      Train.Trainer.epochs;
+      seed;
+    }
+  in
+  let history = Train.Trainer.fit config net (Dataset.pairs clean) () in
+  let losses = history.Train.Trainer.train_loss in
+  Printf.printf "final NLL: %.4f\n" losses.(Array.length losses - 1);
+  Nn.Io.save out net;
+  Printf.printf "saved %s to %s\n" (Nn.Network.describe net) out
+
+let train_cmd =
+  let out =
+    Arg.(value & opt string "predictor.net"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to save the network.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train an I4xN motion predictor on sanitized data.")
+    Term.(const train $ seed_arg $ samples_arg $ risky_arg $ width_arg
+          $ epochs_arg $ out)
+
+(* {1 verify} *)
+
+let net_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
+
+let verify net_path threshold time_limit slack =
+  let net = Nn.Io.load net_path in
+  Printf.printf "verifying %s\n" (Nn.Network.describe net);
+  let box = Verify.Scenario.vehicle_on_left ~slack () in
+  let r =
+    Verify.Driver.max_lateral_velocity ~time_limit ~components net box
+  in
+  (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
+   | Some v, true ->
+       Printf.printf
+         "max lateral velocity with a vehicle on the left: %.6f m/s (exact)\n" v
+   | Some v, false ->
+       Printf.printf "best found %.6f m/s, proven bound %.6f (time limit hit)\n"
+         v r.Verify.Driver.upper_bound
+   | None, _ -> print_endline "n.a. (unable to find maximum)");
+  Printf.printf "%d unstable neurons, %d nodes, %.1fs\n"
+    r.Verify.Driver.unstable_neurons r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+  let proof =
+    Verify.Driver.prove_lateral_velocity_le ~time_limit ~components ~threshold
+      net box
+  in
+  (match proof.Verify.Driver.proof with
+   | Verify.Driver.Proved ->
+       Printf.printf "PROVED: lateral velocity <= %.2f m/s on the scenario\n"
+         threshold
+   | Verify.Driver.Disproved w ->
+       Printf.printf "UNSAFE: counterexample reaches %.3f m/s\n"
+         w.Verify.Driver.achieved
+   | Verify.Driver.Unknown { best_bound } ->
+       Printf.printf "UNKNOWN: bound %.3f after the time limit\n" best_bound);
+  if
+    (match proof.Verify.Driver.proof with
+     | Verify.Driver.Disproved _ -> true
+     | Verify.Driver.Proved | Verify.Driver.Unknown _ -> false)
+  then exit 1
+
+let verify_cmd =
+  let threshold =
+    Arg.(value & opt float 1.5
+         & info [ "threshold" ] ~docv:"V" ~doc:"Lateral velocity limit (m/s).")
+  in
+  let time_limit =
+    Arg.(value & opt float 60.0
+         & info [ "time-limit" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
+  in
+  let slack =
+    Arg.(value & opt float 0.03
+         & info [ "slack" ] ~docv:"R" ~doc:"Scenario box slack (normalised).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
+    Term.(const verify $ net_arg $ threshold $ time_limit $ slack)
+
+(* {1 trace} *)
+
+let trace net_path seed samples =
+  let net = Nn.Io.load net_path in
+  let recorded = record ~seed ~samples ~risky:0.0 in
+  let probes = Array.map (fun s -> s.Highway.Recorder.features) recorded in
+  let t =
+    Traceability.Analysis.analyze ~feature_names:Highway.Features.names net
+      probes
+  in
+  print_string (Traceability.Analysis.render ~max_neurons:40 t)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Neuron-to-feature traceability table (pillar A).")
+    Term.(const trace $ net_arg $ seed_arg $ samples_arg)
+
+(* {1 simulate} *)
+
+let simulate net_path seed steps =
+  let net = Nn.Io.load net_path in
+  let rng = Linalg.Rng.create seed in
+  let sim =
+    Highway.Simulator.spawn ~rng ~road:Highway.Recorder.default_road
+      ~vehicles_per_lane:14 ()
+  in
+  let idm = Highway.Idm.default and mobil = Highway.Mobil.default in
+  let controller scene = Highway.Policy.act ~idm ~mobil ~rng scene in
+  Highway.Simulator.run sim ~controller ~dt:0.2 ~steps ();
+  let scene = Highway.Simulator.scene sim in
+  let mixture =
+    Nn.Gmm.decode ~components
+      (Nn.Network.forward net (Highway.Features.encode scene))
+  in
+  print_endline
+    (Highway.Render.side_by_side
+       (Highway.Render.scene scene)
+       (Highway.Render.action_distribution mixture))
+
+let simulate_cmd =
+  let steps =
+    Arg.(value & opt int 150 & info [ "steps" ] ~docv:"N" ~doc:"Simulation steps.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Render a simulation snapshot (Fig. 1 analogue).")
+    Term.(const simulate $ net_arg $ seed_arg $ steps)
+
+(* {1 certify} *)
+
+let certify seed width samples epochs =
+  let config =
+    {
+      (Pipeline.default_config ~width ~seed ()) with
+      Pipeline.n_samples = samples;
+      epochs;
+    }
+  in
+  let artifacts = Pipeline.run ~progress:print_endline config in
+  print_newline ();
+  print_endline (Pipeline.render_report artifacts);
+  let verdict = Pipeline.certify artifacts in
+  match verdict.Pipeline.property_holds with
+  | Some true -> print_endline "certification: PASS"
+  | Some false ->
+      print_endline "certification: FAIL (safety property violated)";
+      exit 1
+  | None ->
+      print_endline "certification: INCONCLUSIVE (verification timed out)";
+      exit 2
+
+let certify_cmd =
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Run the full three-pillar certification pipeline.")
+    Term.(const certify $ seed_arg $ width_arg $ samples_arg $ epochs_arg)
+
+let () =
+  let doc = "dependable neural networks for safety-critical applications" in
+  let info = Cmd.info "depnn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
+            simulate_cmd; certify_cmd;
+          ]))

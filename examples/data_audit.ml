@@ -1,0 +1,46 @@
+(* Pillar C demo: contaminate a driving log with blind-spot lane
+   changes, then show the sanitizer finding every one of them without
+   access to the recorder's ground-truth labels.
+
+   Run with: dune exec examples/data_audit.exe *)
+
+let () =
+  let rng = Linalg.Rng.create 2024 in
+  Printf.printf "recording 3000 scenes with a distracted expert (30%% blind-spot rate)...\n";
+  let samples =
+    Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky 0.3)
+      ~n_samples:3000 ()
+  in
+  let truly_risky =
+    Array.fold_left
+      (fun n s -> if s.Highway.Recorder.ground_truth_risky then n + 1 else n)
+      0 samples
+  in
+  Printf.printf "ground truth: %d risky samples hidden in the log\n\n" truly_risky;
+
+  let dataset = Dataset.of_samples samples in
+  let clean, report = Sanitizer.sanitize dataset in
+  print_endline (Sanitizer.render_report report);
+
+  (* Score the audit against the hidden labels. *)
+  let rejected = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace rejected r.Sanitizer.index ())
+    report.Sanitizer.rejections;
+  let caught = ref 0 and missed = ref 0 and collateral = ref 0 in
+  Array.iteri
+    (fun i s ->
+      match (s.Highway.Recorder.ground_truth_risky, Hashtbl.mem rejected i) with
+      | true, true -> incr caught
+      | true, false -> incr missed
+      | false, true -> incr collateral
+      | false, false -> ())
+    samples;
+  Printf.printf "audit vs ground truth: caught %d/%d risky, %d safe samples also rejected\n"
+    !caught truly_risky !collateral;
+  Printf.printf "clean training set: %d samples\n" (Dataset.size clean);
+  if !missed > 0 then begin
+    Printf.printf "MISSED %d risky samples - data validation failed!\n" !missed;
+    exit 1
+  end
+  else print_endline "no risky sample reached the training set."

@@ -1,0 +1,42 @@
+(* Quickstart: build a small ReLU network, compute the exact maximum of
+   one output over an input box with the MILP verifier, and cross-check
+   against random sampling.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let rng = Linalg.Rng.create 42 in
+
+  (* A 4-input, two-hidden-layer ReLU network with random weights. *)
+  let net = Nn.Network.create ~rng [ 4; 8; 8; 2 ] in
+  Printf.printf "network: %s\n" (Nn.Network.describe net);
+
+  (* The input region to verify over: each input in [-0.5, 0.5]. *)
+  let box = Array.make 4 (Interval.make (-0.5) 0.5) in
+
+  (* Exact maximisation of output 0 over the box. *)
+  let result = Verify.Driver.maximize_output ~output:0 net box in
+  (match result.Verify.Driver.value with
+   | Some v ->
+       Printf.printf "verified max of output[0]: %.6f (optimal: %b, %d nodes, %.3fs)\n"
+         v result.Verify.Driver.optimal result.Verify.Driver.nodes
+         result.Verify.Driver.elapsed
+   | None -> print_endline "verification did not finish");
+
+  (* Monte-Carlo lower bound for comparison. *)
+  let sampled = ref neg_infinity in
+  for _ = 1 to 10_000 do
+    let x = Interval.Box.sample box rng in
+    let out = Nn.Network.forward net x in
+    if out.(0) > !sampled then sampled := out.(0)
+  done;
+  Printf.printf "best of 10k random samples:  %.6f\n" !sampled;
+
+  (* The witness input actually achieves the verified maximum. *)
+  match result.Verify.Driver.witness with
+  | Some w ->
+      Printf.printf "witness input: %s -> %.6f\n"
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") w.Verify.Driver.input)))
+        w.Verify.Driver.achieved
+  | None -> ()

@@ -1,0 +1,45 @@
+(* Fig. 1 analogue: simulate the highway (left pane) and render the
+   predictor's suggested action distribution as a Gaussian-mixture
+   heatmap (right pane).
+
+   Run with: dune exec examples/simulation_demo.exe *)
+
+let () =
+  let rng = Linalg.Rng.create 11 in
+
+  (* Train a small predictor on safe demonstrations. *)
+  print_endline "training a small motion predictor (this takes a few seconds)...";
+  let samples = Highway.Recorder.record ~rng ~n_samples:800 () in
+  let clean, _ = Sanitizer.sanitize (Dataset.of_samples samples) in
+  let components = 3 in
+  let net = Nn.Network.i4xn ~rng ~output_dim:(Nn.Gmm.output_dim ~components) 8 in
+  let config =
+    {
+      (Train.Trainer.default ~loss:(Train.Loss.Mdn { components }) ()) with
+      Train.Trainer.epochs = 20;
+    }
+  in
+  ignore (Train.Trainer.fit config net (Dataset.pairs clean) ());
+
+  (* Drive the simulation for a while with the expert, then snapshot. *)
+  let sim = Highway.Simulator.spawn ~rng ~road:Highway.Recorder.default_road ~vehicles_per_lane:14 () in
+  let idm = Highway.Idm.default and mobil = Highway.Mobil.default in
+  let controller scene = Highway.Policy.act ~idm ~mobil ~rng scene in
+  Highway.Simulator.run sim ~controller ~dt:0.2 ~steps:120 ();
+
+  let scene = Highway.Simulator.scene sim in
+  let features = Highway.Features.encode scene in
+  let mixture = Nn.Gmm.decode ~components (Nn.Network.forward net features) in
+
+  let left_pane = Highway.Render.scene scene in
+  let right_pane = Highway.Render.action_distribution mixture in
+  print_newline ();
+  print_endline "simulation snapshot (E = ego)      suggested action distribution";
+  print_endline (Highway.Render.side_by_side left_pane right_pane);
+
+  let lat, lon = Nn.Gmm.mean mixture in
+  Printf.printf "mixture mean action: lateral velocity %+.2f m/s, acceleration %+.2f m/s2\n" lat lon;
+  Printf.printf "vehicle on the left: %b\n" (Highway.Scene.has_vehicle_on_left scene);
+  Printf.printf "ego: lane %d, %.1f m/s\n"
+    (Highway.Simulator.ego sim).Highway.Vehicle.lane
+    (Highway.Simulator.ego sim).Highway.Vehicle.speed

@@ -1,0 +1,36 @@
+(* Pillar A demo: train a small predictor, then associate each hidden
+   neuron with the scene features that explain its activation.
+
+   Run with: dune exec examples/traceability_demo.exe *)
+
+let () =
+  let rng = Linalg.Rng.create 7 in
+  print_endline "recording and training a small I4x8 predictor...";
+  let samples = Highway.Recorder.record ~rng ~n_samples:1200 () in
+  let dataset = Dataset.of_samples samples in
+  let clean, _ = Sanitizer.sanitize dataset in
+  let components = 3 in
+  let net =
+    Nn.Network.i4xn ~rng ~output_dim:(Nn.Gmm.output_dim ~components) 8
+  in
+  let config =
+    {
+      (Train.Trainer.default ~loss:(Train.Loss.Mdn { components }) ()) with
+      Train.Trainer.epochs = 25;
+    }
+  in
+  ignore (Train.Trainer.fit config net (Dataset.pairs clean) ());
+
+  print_endline "analysing neuron-to-feature traceability...\n";
+  let t =
+    Traceability.Analysis.analyze ~top_k:3
+      ~feature_names:Highway.Features.names net clean.Dataset.inputs
+  in
+  print_endline (Traceability.Analysis.render ~max_neurons:32 t);
+
+  Printf.printf
+    "\nThe paper's Sec. IV conclusion - understandability is only partially\n\
+     achievable - corresponds to the traceable fraction above: %.0f%% of live\n\
+     neurons admit a feature-level explanation at |corr| >= 0.3; the rest\n\
+     encode distributed combinations no single feature explains.\n"
+    (100.0 *. Traceability.Analysis.traceable_fraction t)

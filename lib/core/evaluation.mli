@@ -1,0 +1,34 @@
+(** Closed-loop evaluation of a trained predictor.
+
+    Verification (pillar B) bounds the network's worst suggestion on a
+    scenario box; this module complements it with the product-acceptance
+    view of Table I's "specification validity" row: drive the simulator
+    with the network in the loop and monitor the safety rule at runtime.
+    A verified predictor should produce zero risky suggestions here; the
+    converse does not hold, which is exactly why the paper argues
+    testing alone cannot carry the correctness claim. *)
+
+type result = {
+  steps : int;
+  risky_suggestions : int;
+      (** times the network suggested a risky lateral move
+          ({!Highway.Risk}) while a neighbour was alongside *)
+  collisions : bool;
+  mean_speed : float;       (** ego average speed, m/s *)
+  lane_changes : int;
+  max_suggested_lat : float;  (** largest mixture-mean lateral velocity *)
+}
+
+val drive :
+  ?steps:int ->
+  ?dt:float ->
+  ?seed:int ->
+  components:int ->
+  Nn.Network.t ->
+  unit ->
+  result
+(** Run the predictor closed-loop on dense traffic ([steps] defaults to
+    600, i.e. two minutes at 0.2 s). The network's mixture mean is used
+    as the commanded action. *)
+
+val render : result -> string

@@ -1,0 +1,67 @@
+type aspect =
+  | Implementation_understandability
+  | Implementation_correctness
+  | Specification_validity
+
+type adaptation = Added | Removed
+
+type t = {
+  aspect : aspect;
+  existing_standard : string;
+  adaptations : (adaptation * string) list;
+}
+
+let all =
+  [
+    {
+      aspect = Implementation_understandability;
+      existing_standard = "Fine-grained specification-to-code traceability";
+      adaptations = [ (Added, "Fine-grained neuron-to-feature traceability") ];
+    };
+    {
+      aspect = Implementation_correctness;
+      existing_standard =
+        "Verification based on testing and classical coverage criteria such \
+         as MC/DC";
+      adaptations =
+        [
+          (Removed, "coverage criteria such as MC/DC");
+          (Added, "formal analysis against safety properties");
+        ];
+    };
+    {
+      aspect = Specification_validity;
+      existing_standard =
+        "Validation via prototyping, design-time analysis, and product \
+         acceptance test";
+      adaptations = [ (Added, "Validating data as a new type of specification") ];
+    };
+  ]
+
+let aspect_name = function
+  | Implementation_understandability -> "Implementation understandability"
+  | Implementation_correctness -> "Implementation correctness"
+  | Specification_validity -> "Specification validity"
+
+let render_table ?(evidence = fun _ -> None) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Table I: extending safety-certification concepts to neural networks\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n%s\n" (aspect_name row.aspect));
+      Buffer.add_string buf
+        (Printf.sprintf "  existing standard:  %s\n" row.existing_standard);
+      List.iter
+        (fun (kind, text) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  adaptation for ANN: (%s) %s\n"
+               (match kind with Added -> "+" | Removed -> "-")
+               text))
+        row.adaptations;
+      match evidence row.aspect with
+      | Some e -> Buffer.add_string buf (Printf.sprintf "  evidence:           %s\n" e)
+      | None -> ())
+    all;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** The certification matrix of the paper's Table I: for each of the
+    three dependability aspects, the existing-standard practice and its
+    adaptation for neural networks. *)
+
+type aspect =
+  | Implementation_understandability
+  | Implementation_correctness
+  | Specification_validity
+
+type adaptation = Added | Removed
+
+type t = {
+  aspect : aspect;
+  existing_standard : string;
+  adaptations : (adaptation * string) list;
+}
+
+val all : t list
+(** The three rows of Table I, verbatim in content. *)
+
+val aspect_name : aspect -> string
+val render_table : ?evidence:(aspect -> string option) -> unit -> string
+(** Render Table I; [evidence] optionally attaches, per row, what the
+    pipeline actually produced for this aspect. *)

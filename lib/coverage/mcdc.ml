@@ -1,0 +1,94 @@
+type analysis = {
+  decisions : int;
+  obligations : int;
+  min_test_cases : int;
+  branch_combinations_log2 : float;
+}
+
+let count_relu_neurons net =
+  let total = ref 0 in
+  for i = 0 to Nn.Network.num_layers net - 1 do
+    let layer = Nn.Network.layer net i in
+    if layer.Nn.Layer.activation = Nn.Activation.Relu then
+      total := !total + Nn.Layer.output_dim layer
+  done;
+  !total
+
+let analyze net =
+  let decisions = count_relu_neurons net in
+  {
+    decisions;
+    obligations = 2 * decisions;
+    min_test_cases = (if decisions = 0 then 1 else 2);
+    branch_combinations_log2 = float_of_int decisions;
+  }
+
+type measured = {
+  covered_obligations : int;
+  total_obligations : int;
+  mcdc_percent : float;
+  distinct_patterns : int;
+  tests : int;
+}
+
+let measure net inputs =
+  if Array.length inputs = 0 then invalid_arg "Mcdc.measure: empty test suite";
+  let a = analyze net in
+  (* Outcome flags per ReLU neuron: seen-true and seen-false. *)
+  let seen_true = Array.make (max 1 a.decisions) false in
+  let seen_false = Array.make (max 1 a.decisions) false in
+  let patterns = Hashtbl.create (Array.length inputs) in
+  Array.iter
+    (fun x ->
+      let trace = Nn.Network.forward_trace net x in
+      let pattern = Buffer.create 64 in
+      let idx = ref 0 in
+      for li = 0 to Nn.Network.num_layers net - 1 do
+        let layer = Nn.Network.layer net li in
+        if layer.Nn.Layer.activation = Nn.Activation.Relu then
+          Array.iter
+            (fun z ->
+              let active = z > 0.0 in
+              Buffer.add_char pattern (if active then '1' else '0');
+              if active then seen_true.(!idx) <- true
+              else seen_false.(!idx) <- true;
+              incr idx)
+            trace.Nn.Network.pre.(li)
+      done;
+      Hashtbl.replace patterns (Buffer.contents pattern) ())
+    inputs;
+  let covered = ref 0 in
+  for i = 0 to a.decisions - 1 do
+    if seen_true.(i) then incr covered;
+    if seen_false.(i) then incr covered
+  done;
+  let total = a.obligations in
+  {
+    covered_obligations = !covered;
+    total_obligations = total;
+    mcdc_percent =
+      (if total = 0 then 100.0
+       else 100.0 *. float_of_int !covered /. float_of_int total);
+    distinct_patterns = Hashtbl.length patterns;
+    tests = Array.length inputs;
+  }
+
+let render a m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "decisions (relu branches): %d, MC/DC obligations: %d, minimum test cases: %d\n"
+       a.decisions a.obligations a.min_test_cases);
+  if a.decisions > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "branch combinations: 2^%d (~%.2e)\n" a.decisions
+         (2.0 ** Float.min 1020.0 a.branch_combinations_log2));
+  (match m with
+   | None -> ()
+   | Some m ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "measured on %d tests: %d/%d obligations (%.1f%% MC/DC), %d distinct branch patterns\n"
+            m.tests m.covered_obligations m.total_obligations m.mcdc_percent
+            m.distinct_patterns));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** The paper's testing-for-correctness argument, made executable.
+
+    Sec. II: "(i) When one uses tan-1 as the activation function, one
+    only needs one test case to satisfy MC/DC as there is no
+    if-then-else branch in every neuron. (ii) When one uses ReLU ...
+    every neuron contains an if-then-else statement. MC/DC is then
+    intractable, as branching possibilities are exponential to the
+    number of neurons."
+
+    Each ReLU neuron is a single-condition decision [if z > 0 then z
+    else 0]; MC/DC therefore demands, per neuron, one test with the
+    condition true and one with it false (the independent-effect pair
+    for a single-condition decision). Smooth activations contain no
+    decision, so any single test case achieves 100% MC/DC. *)
+
+type analysis = {
+  decisions : int;             (** ReLU neurons = if-then-else branches *)
+  obligations : int;           (** MC/DC test obligations: 2 per decision *)
+  min_test_cases : int;        (** 1 when there are no decisions *)
+  branch_combinations_log2 : float;
+      (** log2 of the number of activation patterns = #decisions *)
+}
+
+val analyze : Nn.Network.t -> analysis
+
+(** {1 Measured coverage under a concrete test suite} *)
+
+type measured = {
+  covered_obligations : int;   (** (neuron, outcome) pairs exercised *)
+  total_obligations : int;
+  mcdc_percent : float;
+  distinct_patterns : int;
+      (** distinct hidden activation patterns seen — compare against
+          [2^decisions] to exhibit the intractability *)
+  tests : int;
+}
+
+val measure : Nn.Network.t -> Linalg.Vec.t array -> measured
+(** Run the test inputs and measure which branch outcomes were
+    exercised. Networks without decisions report 100% from any
+    non-empty suite. *)
+
+val render : analysis -> measured option -> string

@@ -1,0 +1,58 @@
+type t = { inputs : Linalg.Vec.t array; targets : Linalg.Vec.t array }
+
+let make inputs targets =
+  if Array.length inputs <> Array.length targets then
+    invalid_arg "Dataset.make: inputs/targets length mismatch";
+  if Array.length inputs > 0 then begin
+    let din = Array.length inputs.(0) and dout = Array.length targets.(0) in
+    Array.iter
+      (fun v ->
+        if Array.length v <> din then
+          invalid_arg "Dataset.make: ragged input dimensions")
+      inputs;
+    Array.iter
+      (fun v ->
+        if Array.length v <> dout then
+          invalid_arg "Dataset.make: ragged target dimensions")
+      targets
+  end;
+  { inputs; targets }
+
+let of_samples samples =
+  make
+    (Array.map (fun s -> s.Highway.Recorder.features) samples)
+    (Array.map Highway.Recorder.target_of_sample samples)
+
+let size t = Array.length t.inputs
+let input_dim t = if size t = 0 then 0 else Array.length t.inputs.(0)
+let target_dim t = if size t = 0 then 0 else Array.length t.targets.(0)
+
+let pairs t = Array.init (size t) (fun i -> (t.inputs.(i), t.targets.(i)))
+
+let split ~rng ~ratio t =
+  if ratio < 0.0 || ratio > 1.0 then invalid_arg "Dataset.split: bad ratio";
+  let n = size t in
+  let order = Array.init n (fun i -> i) in
+  Linalg.Rng.shuffle_in_place rng order;
+  let cut = int_of_float (ratio *. float_of_int n) in
+  let take lo hi =
+    make
+      (Array.init (hi - lo) (fun i -> t.inputs.(order.(lo + i))))
+      (Array.init (hi - lo) (fun i -> t.targets.(order.(lo + i))))
+  in
+  (take 0 cut, take cut n)
+
+let concat a b =
+  if size a > 0 && size b > 0 && (input_dim a <> input_dim b || target_dim a <> target_dim b)
+  then invalid_arg "Dataset.concat: dimension mismatch";
+  make (Array.append a.inputs b.inputs) (Array.append a.targets b.targets)
+
+let filteri keep t =
+  let idx = List.filter keep (List.init (size t) Fun.id) in
+  make
+    (Array.of_list (List.map (fun i -> t.inputs.(i)) idx))
+    (Array.of_list (List.map (fun i -> t.targets.(i)) idx))
+
+let target_stats t ~dim =
+  let xs = Array.map (fun target -> target.(dim)) t.targets in
+  (Linalg.Stats.mean xs, Linalg.Stats.stddev xs)

@@ -1,0 +1,29 @@
+(** Supervised datasets: (input, target) pairs. *)
+
+type t = {
+  inputs : Linalg.Vec.t array;
+  targets : Linalg.Vec.t array;
+}
+
+val make : Linalg.Vec.t array -> Linalg.Vec.t array -> t
+(** Raises [Invalid_argument] on length mismatch or inconsistent
+    dimensions. *)
+
+val of_samples : Highway.Recorder.sample array -> t
+(** Targets are [(lat_velocity, lon_accel)]. *)
+
+val size : t -> int
+val input_dim : t -> int
+val target_dim : t -> int
+
+val pairs : t -> (Linalg.Vec.t * Linalg.Vec.t) array
+(** View as the array the trainer consumes (shares the vectors). *)
+
+val split : rng:Linalg.Rng.t -> ratio:float -> t -> t * t
+(** Shuffled split: first part receives [ratio] of the samples. *)
+
+val concat : t -> t -> t
+val filteri : (int -> bool) -> t -> t
+
+val target_stats : t -> dim:int -> float * float
+(** Mean and standard deviation of one target coordinate. *)

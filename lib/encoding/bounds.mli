@@ -1,0 +1,32 @@
+(** Interval bound propagation through a network.
+
+    Sound per-neuron pre-activation bounds over an input box. These
+    bounds serve two purposes in the MILP encoding (Cheng, Nührenberg &
+    Rueß, ATVA 2017): they decide which ReLU neurons are {e stable}
+    (provably active or inactive on the whole box, hence encodable
+    without a binary variable), and they provide the tight per-neuron
+    big-M constants that make the relaxation strong. *)
+
+type t = {
+  pre : Interval.t array array;
+      (** pre-activation interval per layer and neuron *)
+  post : Interval.t array array;  (** post-activation intervals *)
+}
+
+val propagate : Nn.Network.t -> Interval.Box.box -> t
+(** Raises [Invalid_argument] if the box dimension differs from the
+    network input dimension. *)
+
+val coarse : Nn.Network.t -> radius:float -> t
+(** The ablation baseline: pretend every input lies in [\[-radius,
+    radius\]] and propagate — mimics the naive "one global big-M"
+    encoding. Bounds are still sound for any box inside that radius, only
+    (much) looser. *)
+
+type stability = Stable_active | Stable_inactive | Unstable
+
+val relu_stability : Interval.t -> stability
+
+val count_unstable : Nn.Network.t -> t -> int
+(** Number of hidden ReLU neurons whose sign is not decided by the
+    bounds (= number of binaries the encoder will create). *)

@@ -1,0 +1,80 @@
+(** ANN → MILP encoding (Cheng, Nührenberg & Rueß, ATVA 2017).
+
+    For an input box X and a ReLU network f, builds a mixed-integer
+    model whose feasible set is exactly
+    [{(x, f-intermediates) | x ∈ X}]. Each hidden ReLU neuron with
+    pre-activation bounds [\[L, U\]] is encoded as:
+
+    - stable active (L >= 0): [a = z];
+    - stable inactive (U <= 0): [a = 0];
+    - unstable: binary δ with
+      [a >= z], [a >= 0], [a <= z - L(1-δ)], [a <= Uδ].
+
+    Maximising an output variable over the model therefore computes the
+    exact network maximum on the box (the paper's Table II query), with
+    the per-neuron interval bounds acting as the big-M constants. *)
+
+type bound_mode =
+  | Interval_bounds  (** propagate the actual input box (tight) *)
+  | Coarse of float
+      (** ablation: bounds from a global input radius (loose big-M) *)
+
+type stats = {
+  stable_active : int;
+  stable_inactive : int;
+  unstable : int;  (** = number of binaries *)
+}
+
+type t = {
+  model : Milp.Model.t;
+  input_vars : Milp.Model.var array;
+  output_vars : Milp.Model.var array;
+  binaries : (Milp.Model.var * int * int) list;
+      (** (binary var, layer, neuron index) *)
+  bounds : Bounds.t;
+  stats : stats;
+}
+
+val encode :
+  ?bound_mode:bound_mode ->
+  ?tighten_rounds:int ->
+  ?tighten_budget:float ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  t
+(** Raises [Invalid_argument] if a hidden activation is not piecewise
+    linear (only [Relu]/[Identity] networks are encodable) or if the box
+    dimension mismatches. No objective is set.
+
+    [tighten_rounds] (default 0) applies that many rounds of LP-based
+    bound tightening (OBBT): every unstable neuron's pre-activation is
+    maximised/minimised over the LP relaxation and the encoding is
+    rebuilt with the refined, still-sound bounds. One round typically
+    stabilises a substantial fraction of the binaries and markedly
+    strengthens the relaxation, at the cost of two LP solves per
+    unstable neuron. [tighten_budget] caps the wall-clock seconds spent
+    tightening (neurons are refined in layer order, so the budget is
+    spent where it matters most); default unlimited. *)
+
+val set_output_objective : t -> int -> unit
+(** [set_output_objective enc k] sets the objective to maximise output
+    coordinate [k]. *)
+
+val layer_order_priority : t -> Milp.Model.var -> int
+(** Branching priority that explores earlier layers first (the encoding
+    paper's heuristic: early-layer neurons dominate later ones). *)
+
+val input_point : t -> float array -> float array
+(** Extract the input coordinates from a MILP solution vector. *)
+
+val assignment_of_input : t -> Nn.Network.t -> Linalg.Vec.t -> float array
+(** Forward-run the network on an input and express the full activation
+    trace as a MILP variable assignment. For any input inside the box
+    this assignment is feasible — it is both the test oracle for
+    encoding faithfulness and the primal heuristic inside branch &
+    bound (every LP-relaxation input projects to an incumbent). *)
+
+val check_faithful : t -> Nn.Network.t -> Linalg.Vec.t -> bool
+(** Debug/test helper: forward-run the network on an input and verify
+    the resulting activation pattern satisfies every encoded constraint
+    (uses {!Lp.Simplex.primal_feasible} on the assembled point). *)

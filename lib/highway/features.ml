@@ -1,0 +1,175 @@
+let dim = 84
+
+let speed_scale = 40.0
+let accel_scale = 4.0
+let distance_scale = 100.0
+let rel_speed_scale = 20.0
+let sensor_horizon = 100.0
+
+let norm_speed v = v /. speed_scale
+let norm_distance d = Float.max (-1.0) (Float.min 1.0 (d /. distance_scale))
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+(* Layout: ego block [0..7], eight 8-feature orientation blocks
+   [8..71], road block [72..83]. *)
+let ego_speed = 0
+let ego_accel = 1
+let ego_lat_offset = 2
+let ego_desired_speed = 3
+
+let ego_history k =
+  assert (k >= 0 && k < Vehicle.history_length);
+  4 + k
+
+let block_size = 8
+
+let orientation_index o =
+  let rec find i = function
+    | [] -> assert false
+    | x :: rest -> if x = o then i else find (i + 1) rest
+  in
+  find 0 Orientation.all
+
+let orientation_base o = 8 + (block_size * orientation_index o)
+
+let presence_offset = 0
+let rel_distance_offset = 1
+let rel_speed_offset = 2
+let speed_offset = 3
+let accel_offset = 4
+let gap_offset = 5
+let time_gap_offset = 6
+let length_offset = 7
+
+let road_base = 72
+let road_ego_lane = road_base + 5
+let road_is_leftmost = road_base + 6
+let road_lanes_left = road_base + 8
+
+let encode (scene : Scene.t) =
+  let v = Array.make dim 0.0 in
+  let ego = scene.Scene.ego in
+  let road = scene.Scene.road in
+  v.(ego_speed) <- norm_speed ego.Vehicle.speed;
+  v.(ego_accel) <- clamp (-1.0) 1.0 (ego.Vehicle.accel /. accel_scale);
+  v.(ego_lat_offset) <- clamp (-1.0) 1.0 (ego.Vehicle.lat_offset /. (road.Road.lane_width /. 2.0));
+  v.(ego_desired_speed) <- norm_speed ego.Vehicle.desired_speed;
+  for k = 0 to Vehicle.history_length - 1 do
+    v.(ego_history k) <- norm_speed ego.Vehicle.speed_history.(k)
+  done;
+  List.iter
+    (fun o ->
+      let base = orientation_base o in
+      match Scene.neighbor scene o with
+      | Some other ->
+          let dx = Road.delta road other.Vehicle.x ego.Vehicle.x in
+          let gap =
+            if dx >= 0.0 then Vehicle.gap road ~follower:ego ~leader:other
+            else Vehicle.gap road ~follower:other ~leader:ego
+          in
+          v.(base + presence_offset) <- 1.0;
+          v.(base + rel_distance_offset) <- norm_distance dx;
+          v.(base + rel_speed_offset) <-
+            clamp (-1.0) 1.0 ((other.Vehicle.speed -. ego.Vehicle.speed) /. rel_speed_scale);
+          v.(base + speed_offset) <- norm_speed other.Vehicle.speed;
+          v.(base + accel_offset) <- clamp (-1.0) 1.0 (other.Vehicle.accel /. accel_scale);
+          v.(base + gap_offset) <- norm_distance gap;
+          v.(base + time_gap_offset) <-
+            clamp 0.0 1.0 (Float.abs gap /. Float.max 1.0 ego.Vehicle.speed /. 10.0);
+          v.(base + length_offset) <- clamp 0.0 1.0 (other.Vehicle.length /. 10.0)
+      | None ->
+          (* Virtual same-speed vehicle at the sensor horizon: far ahead
+             for front-ish orientations, far behind for back-ish ones,
+             and "no vehicle" for alongside slots. *)
+          let sign =
+            match o with
+            | Orientation.Front | Orientation.Left_front | Orientation.Right_front
+              -> 1.0
+            | Orientation.Back | Orientation.Left_back | Orientation.Right_back
+              -> -1.0
+            | Orientation.Left | Orientation.Right -> 0.0
+          in
+          v.(base + presence_offset) <- 0.0;
+          v.(base + rel_distance_offset) <- sign *. norm_distance sensor_horizon;
+          v.(base + rel_speed_offset) <- 0.0;
+          v.(base + speed_offset) <- norm_speed ego.Vehicle.speed;
+          v.(base + accel_offset) <- 0.0;
+          v.(base + gap_offset) <- sign *. 1.0;
+          v.(base + time_gap_offset) <- 1.0;
+          v.(base + length_offset) <- 0.0)
+    Orientation.all;
+  let lanes = float_of_int road.Road.num_lanes in
+  let lane = float_of_int ego.Vehicle.lane in
+  v.(road_base + 0) <- lanes /. 5.0;
+  v.(road_base + 1) <- road.Road.lane_width /. 5.0;
+  v.(road_base + 2) <- road.Road.speed_limit /. 50.0;
+  v.(road_base + 3) <- road.Road.friction;
+  v.(road_base + 4) <- clamp (-1.0) 1.0 (road.Road.curvature *. 1000.0);
+  v.(road_base + 5) <- (if road.Road.num_lanes > 1 then lane /. (lanes -. 1.0) else 0.0);
+  v.(road_base + 6) <- (if ego.Vehicle.lane = road.Road.num_lanes - 1 then 1.0 else 0.0);
+  v.(road_base + 7) <- (if ego.Vehicle.lane = 0 then 1.0 else 0.0);
+  v.(road_base + 8) <- float_of_int (road.Road.num_lanes - 1 - ego.Vehicle.lane) /. 4.0;
+  v.(road_base + 9) <- lane /. 4.0;
+  v.(road_base + 10) <-
+    clamp (-1.0) 1.0 ((road.Road.speed_limit -. ego.Vehicle.speed) /. rel_speed_scale);
+  v.(road_base + 11) <- 1.0;
+  v
+
+let names =
+  let a = Array.make dim "" in
+  a.(ego_speed) <- "ego.speed";
+  a.(ego_accel) <- "ego.accel";
+  a.(ego_lat_offset) <- "ego.lat_offset";
+  a.(ego_desired_speed) <- "ego.desired_speed";
+  for k = 0 to Vehicle.history_length - 1 do
+    a.(ego_history k) <- Printf.sprintf "ego.speed_history[%d]" k
+  done;
+  List.iter
+    (fun o ->
+      let base = orientation_base o in
+      let n = Orientation.name o in
+      a.(base + presence_offset) <- n ^ ".present";
+      a.(base + rel_distance_offset) <- n ^ ".rel_distance";
+      a.(base + rel_speed_offset) <- n ^ ".rel_speed";
+      a.(base + speed_offset) <- n ^ ".speed";
+      a.(base + accel_offset) <- n ^ ".accel";
+      a.(base + gap_offset) <- n ^ ".gap";
+      a.(base + time_gap_offset) <- n ^ ".time_gap";
+      a.(base + length_offset) <- n ^ ".length")
+    Orientation.all;
+  let road_names =
+    [| "road.num_lanes"; "road.lane_width"; "road.speed_limit"; "road.friction";
+       "road.curvature"; "road.ego_lane"; "road.is_leftmost"; "road.is_rightmost";
+       "road.lanes_left"; "road.lanes_right"; "road.speed_margin"; "road.bias" |]
+  in
+  Array.blit road_names 0 a road_base 12;
+  a
+
+let domain =
+  let box = Array.make dim (Interval.make (-1.0) 1.0) in
+  let unit_pos = Interval.make 0.0 1.0 in
+  box.(ego_speed) <- unit_pos;
+  box.(ego_desired_speed) <- unit_pos;
+  for k = 0 to Vehicle.history_length - 1 do
+    box.(ego_history k) <- unit_pos
+  done;
+  List.iter
+    (fun o ->
+      let base = orientation_base o in
+      box.(base + presence_offset) <- unit_pos;
+      box.(base + speed_offset) <- unit_pos;
+      box.(base + time_gap_offset) <- unit_pos;
+      box.(base + length_offset) <- unit_pos)
+    Orientation.all;
+  box.(road_base + 0) <- Interval.make 0.2 1.0;
+  box.(road_base + 1) <- Interval.make 0.5 1.0;
+  box.(road_base + 2) <- Interval.make 0.0 1.0;
+  box.(road_base + 3) <- Interval.make 0.0 1.0;
+  box.(road_base + 5) <- unit_pos;
+  box.(road_base + 6) <- unit_pos;
+  box.(road_base + 7) <- unit_pos;
+  box.(road_base + 8) <- unit_pos;
+  box.(road_base + 9) <- unit_pos;
+  box.(road_base + 11) <- Interval.point 1.0;
+  box

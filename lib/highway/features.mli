@@ -1,0 +1,74 @@
+(** Scene → 84-dimensional input encoding of the motion predictor.
+
+    The paper's predictor takes 84 inputs in three categories: the ego
+    speed profile, parameters of the nearest surrounding vehicle for
+    each of the eight orientations, and the road condition. The encoding
+    here follows that structure:
+
+    - ego block, 8 features (speed, acceleration, lateral offset,
+      desired speed, 4-step speed history);
+    - one 8-feature block per orientation in {!Orientation.all} order
+      (presence flag, relative longitudinal distance, relative speed,
+      absolute speed, acceleration, bumper gap, time gap, length), 64
+      features total;
+    - road block, 12 features (lane count, lane width, speed limit,
+      friction, curvature, ego lane index, leftmost/rightmost flags,
+      lanes available left/right, speed-limit margin, constant bias).
+
+    All features are affinely normalised into roughly [\[-1, 1\]] with
+    the fixed constants below, so that verification boxes over feature
+    space are interpretable in physical units. Absent neighbours are
+    encoded as a virtual same-speed vehicle at the sensor horizon. *)
+
+val dim : int
+(** 84. *)
+
+val encode : Scene.t -> Linalg.Vec.t
+
+val names : string array
+(** Human-readable name per feature index (used by traceability
+    reports and the audit log). *)
+
+val domain : Interval.Box.box
+(** The valid input region: every feature's normalised range. Encodings
+    of well-formed scenes always lie inside it (property-tested). *)
+
+(** {1 Index helpers (used to phrase verification scenarios)} *)
+
+val ego_speed : int
+val ego_accel : int
+val ego_lat_offset : int
+val ego_desired_speed : int
+val ego_history : int -> int
+(** [ego_history k], k in 0..3. *)
+
+val orientation_base : Orientation.t -> int
+(** First index of an orientation's 8-feature block. *)
+
+val presence_offset : int
+val rel_distance_offset : int
+val rel_speed_offset : int
+val speed_offset : int
+val accel_offset : int
+val gap_offset : int
+val time_gap_offset : int
+val length_offset : int
+
+val road_base : int
+val road_ego_lane : int
+(** Index of the normalised ego-lane-index feature. *)
+
+val road_is_leftmost : int
+val road_lanes_left : int
+
+(** {1 Normalisation constants (physical unit -> feature value)} *)
+
+(** [speed_scale] is m/s per feature unit. *)
+val speed_scale : float
+val accel_scale : float
+val distance_scale : float
+val rel_speed_scale : float
+val sensor_horizon : float   (** m; absent neighbours sit here *)
+
+val norm_speed : float -> float
+val norm_distance : float -> float

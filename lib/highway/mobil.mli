@@ -1,0 +1,27 @@
+(** MOBIL lane-change model (Kesting, Treiber & Helbing 2007):
+    "Minimising Overall Braking Induced by Lane changes". A change to a
+    target lane is accepted when it is {e safe} (the new follower is not
+    forced to brake harder than [safe_brake]) and {e beneficial} (the
+    acceleration advantage, politeness-weighted over affected
+    followers, exceeds [threshold]). *)
+
+type params = {
+  politeness : float;      (** p, weight of other drivers' advantage *)
+  threshold : float;       (** a_thr, m/s^2 *)
+  safe_brake : float;      (** b_safe, maximum imposed deceleration, m/s^2 *)
+  keep_right_bias : float; (** additional incentive for right changes *)
+}
+
+val default : params
+
+type decision = { safe : bool; incentive : float }
+
+val evaluate :
+  params -> Idm.params -> Scene.t -> Vehicle.t -> target_lane:int -> decision
+(** Assess a change of [Vehicle.t] to [target_lane] in the scene. For an
+    invalid lane, [safe = false]. *)
+
+val decide : params -> Idm.params -> Scene.t -> Vehicle.t -> int option
+(** Preferred lane change for the vehicle ([Some target_lane]), if any.
+    Left changes are evaluated before right changes; the keep-right bias
+    enters the right-change incentive. *)

@@ -1,0 +1,29 @@
+type t =
+  | Front
+  | Back
+  | Left_front
+  | Left
+  | Left_back
+  | Right_front
+  | Right
+  | Right_back
+
+let all =
+  [ Front; Back; Left_front; Left; Left_back; Right_front; Right; Right_back ]
+
+let lane_shift = function
+  | Front | Back -> 0
+  | Left_front | Left | Left_back -> 1
+  | Right_front | Right | Right_back -> -1
+
+let name = function
+  | Front -> "front"
+  | Back -> "back"
+  | Left_front -> "left-front"
+  | Left -> "left"
+  | Left_back -> "left-back"
+  | Right_front -> "right-front"
+  | Right -> "right"
+  | Right_back -> "right-back"
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,22 @@
+(** The eight neighbour orientations around the ego vehicle used by the
+    predictor's input encoding (paper: "parameters of its nearest
+    surrounding vehicles for each orientation"). *)
+
+type t =
+  | Front
+  | Back
+  | Left_front
+  | Left
+  | Left_back
+  | Right_front
+  | Right
+  | Right_back
+
+val all : t list
+(** In a fixed order (the feature-vector order). *)
+
+val lane_shift : t -> int
+(** -1 right, 0 same lane, +1 left. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

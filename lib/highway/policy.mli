@@ -1,0 +1,34 @@
+(** The expert driving policy that labels training data.
+
+    The recorder runs this policy on the ego vehicle and stores its
+    actions as the regression targets — it plays the role of the human
+    demonstrations behind the predictor of Lenz et al. The [Risky]
+    style occasionally ignores the left-occupancy check when it wants
+    to overtake; those are exactly the samples the pillar-C sanitizer
+    must reject before training. *)
+
+type style =
+  | Safe
+  | Risky of float
+      (** blind-spot failure rate: probability, per decision taken while
+          a vehicle is alongside on the left, of darting left anyway *)
+
+type action = {
+  lat_velocity : float;  (** m/s, positive = towards the left lane *)
+  lon_accel : float;     (** m/s^2 *)
+}
+
+val lane_change_speed : float
+(** Nominal lateral speed of a deliberate lane change (1.2 m/s). *)
+
+val act :
+  ?style:style ->
+  idm:Idm.params ->
+  mobil:Mobil.params ->
+  rng:Linalg.Rng.t ->
+  Scene.t ->
+  action
+(** Expert action for the scene's ego vehicle. [style] defaults to
+    [Safe]. Safe actions never command a lateral velocity above
+    {!lane_change_speed} (plus centering noise) towards an occupied
+    side. *)

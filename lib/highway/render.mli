@@ -1,0 +1,22 @@
+(** ASCII rendering for the Fig. 1 analogue: the highway scene on the
+    left and the predictor's suggested action distribution (Gaussian
+    mixture over lateral velocity x longitudinal acceleration) on the
+    right. *)
+
+val scene :
+  ?window:float -> ?columns:int -> Scene.t -> string
+(** Top-down view, leftmost lane on top, ego marked [E], traffic [>].
+    [window] is the longitudinal half-range in metres (default 60),
+    [columns] the character width (default 61). *)
+
+val action_distribution :
+  ?rows:int -> ?cols:int ->
+  ?lat_range:float * float ->
+  ?lon_range:float * float ->
+  Nn.Gmm.t ->
+  string
+(** Density heatmap of the mixture; lateral velocity on the vertical
+    axis (up = left), longitudinal acceleration on the horizontal. *)
+
+val side_by_side : string -> string -> string
+(** Join two multi-line blocks horizontally (Fig. 1 layout). *)

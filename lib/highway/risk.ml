@@ -1,0 +1,29 @@
+let lat_velocity_threshold = 1.5
+
+let present features orientation =
+  features.(Features.orientation_base orientation + Features.presence_offset)
+  >= 0.5
+
+let risky_left_move ~features ~lat_velocity =
+  present features Orientation.Left && lat_velocity > lat_velocity_threshold
+
+let risky_right_move ~features ~lat_velocity =
+  present features Orientation.Right
+  && lat_velocity < -.lat_velocity_threshold
+
+let risky ~features ~lat_velocity =
+  risky_left_move ~features ~lat_velocity
+  || risky_right_move ~features ~lat_velocity
+
+let describe ~features ~lat_velocity =
+  if risky_left_move ~features ~lat_velocity then
+    Some
+      (Printf.sprintf
+         "left neighbour present but lateral velocity %.2f m/s exceeds %.2f"
+         lat_velocity lat_velocity_threshold)
+  else if risky_right_move ~features ~lat_velocity then
+    Some
+      (Printf.sprintf
+         "right neighbour present but lateral velocity %.2f m/s exceeds %.2f"
+         (Float.abs lat_velocity) lat_velocity_threshold)
+  else None

@@ -1,0 +1,22 @@
+(** Risky-driving predicates (pillar C of the methodology).
+
+    The paper's safety requirement: if there is a vehicle on the left of
+    the ego vehicle, the predictor must never suggest a large left
+    lateral velocity. A training sample whose {e label} violates this is
+    "risky driving" and must not reach training. *)
+
+val lat_velocity_threshold : float
+(** Lateral velocities above this (m/s) towards an occupied side count
+    as risky (1.5 m/s: noticeably above a deliberate lane change). *)
+
+val risky_left_move : features:Linalg.Vec.t -> lat_velocity:float -> bool
+(** Left neighbour present (alongside) and commanded lateral velocity
+    above the threshold. *)
+
+val risky_right_move : features:Linalg.Vec.t -> lat_velocity:float -> bool
+
+val risky : features:Linalg.Vec.t -> lat_velocity:float -> bool
+(** Either side. *)
+
+val describe : features:Linalg.Vec.t -> lat_velocity:float -> string option
+(** Human-readable reason when risky, [None] otherwise. *)

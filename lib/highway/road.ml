@@ -1,0 +1,27 @@
+type t = {
+  num_lanes : int;
+  lane_width : float;
+  length : float;
+  speed_limit : float;
+  friction : float;
+  curvature : float;
+}
+
+let make ?(num_lanes = 3) ?(lane_width = 3.5) ?(length = 2000.0)
+    ?(speed_limit = 36.1) ?(friction = 1.0) ?(curvature = 0.0) () =
+  if num_lanes < 1 then invalid_arg "Road.make: need at least one lane";
+  if length <= 0.0 then invalid_arg "Road.make: non-positive length";
+  { num_lanes; lane_width; length; speed_limit; friction; curvature }
+
+let default = make ()
+
+let wrap t x =
+  let r = Float.rem x t.length in
+  if r < 0.0 then r +. t.length else r
+
+let delta t a b =
+  let d = Float.rem (a -. b) t.length in
+  let d = if d < 0.0 then d +. t.length else d in
+  if d >= t.length /. 2.0 then d -. t.length else d
+
+let valid_lane t lane = lane >= 0 && lane < t.num_lanes

@@ -1,0 +1,112 @@
+type t = { road : Road.t; ego : Vehicle.t; others : Vehicle.t array }
+
+let make road ~ego ~others =
+  List.iter
+    (fun (v : Vehicle.t) ->
+      if not (Road.valid_lane road v.Vehicle.lane) then
+        invalid_arg "Scene.make: vehicle in invalid lane")
+    (ego :: others);
+  { road; ego; others = Array.of_list others }
+
+let alongside_window = 7.5
+
+let candidates t reference =
+  Array.to_list t.others @ [ t.ego ]
+  |> List.filter (fun (v : Vehicle.t) -> v.Vehicle.id <> reference.Vehicle.id)
+
+let neighbor_of t reference orientation =
+  let target_lane =
+    reference.Vehicle.lane + Orientation.lane_shift orientation
+  in
+  if not (Road.valid_lane t.road target_lane) then None
+  else begin
+    let eligible (v : Vehicle.t) =
+      v.Vehicle.lane = target_lane
+      && begin
+           let dx = Road.delta t.road v.Vehicle.x reference.Vehicle.x in
+           match orientation with
+           | Orientation.Front | Orientation.Left_front | Orientation.Right_front
+             ->
+               dx > (if Orientation.lane_shift orientation = 0 then 0.0
+                     else alongside_window)
+           | Orientation.Back | Orientation.Left_back | Orientation.Right_back
+             ->
+               dx < (if Orientation.lane_shift orientation = 0 then 0.0
+                     else -.alongside_window)
+           | Orientation.Left | Orientation.Right ->
+               Float.abs dx <= alongside_window
+         end
+    in
+    let closer (a : Vehicle.t) (b : Vehicle.t) =
+      let da = Float.abs (Road.delta t.road a.Vehicle.x reference.Vehicle.x) in
+      let db = Float.abs (Road.delta t.road b.Vehicle.x reference.Vehicle.x) in
+      if da <= db then a else b
+    in
+    candidates t reference
+    |> List.filter eligible
+    |> function
+    | [] -> None
+    | v :: rest -> Some (List.fold_left closer v rest)
+  end
+
+let neighbor t orientation = neighbor_of t t.ego orientation
+
+let leader t reference ~lane =
+  let best = ref None in
+  let consider (v : Vehicle.t) =
+    if v.Vehicle.id <> reference.Vehicle.id && v.Vehicle.lane = lane then begin
+      let dx = Road.delta t.road v.Vehicle.x reference.Vehicle.x in
+      if dx > 0.0 then
+        match !best with
+        | None -> best := Some (v, dx)
+        | Some (_, d) -> if dx < d then best := Some (v, dx)
+    end
+  in
+  Array.iter consider t.others;
+  consider t.ego;
+  Option.map fst !best
+
+let follower t reference ~lane =
+  let best = ref None in
+  let consider (v : Vehicle.t) =
+    if v.Vehicle.id <> reference.Vehicle.id && v.Vehicle.lane = lane then begin
+      let dx = Road.delta t.road v.Vehicle.x reference.Vehicle.x in
+      if dx < 0.0 then
+        match !best with
+        | None -> best := Some (v, dx)
+        | Some (_, d) -> if dx > d then best := Some (v, dx)
+    end
+  in
+  Array.iter consider t.others;
+  consider t.ego;
+  Option.map fst !best
+
+let has_vehicle_on_left ?(window = alongside_window) t =
+  let target_lane = t.ego.Vehicle.lane + 1 in
+  Road.valid_lane t.road target_lane
+  && Array.exists
+       (fun (v : Vehicle.t) ->
+         v.Vehicle.lane = target_lane
+         && Float.abs (Road.delta t.road v.Vehicle.x t.ego.Vehicle.x) <= window)
+       t.others
+
+let min_gap_to_any t =
+  let all = t.ego :: Array.to_list t.others in
+  let best = ref infinity in
+  List.iter
+    (fun (a : Vehicle.t) ->
+      List.iter
+        (fun (b : Vehicle.t) ->
+          if a.Vehicle.id <> b.Vehicle.id && a.Vehicle.lane = b.Vehicle.lane
+          then begin
+            let dx = Road.delta t.road b.Vehicle.x a.Vehicle.x in
+            if dx > 0.0 then begin
+              let g = Vehicle.gap t.road ~follower:a ~leader:b in
+              if g < !best then best := g
+            end
+          end)
+        all)
+    all;
+  !best
+
+let vehicles t = t.ego :: Array.to_list t.others

@@ -1,0 +1,37 @@
+(** A snapshot of the road: the ego vehicle plus surrounding traffic. *)
+
+type t = { road : Road.t; ego : Vehicle.t; others : Vehicle.t array }
+
+val make : Road.t -> ego:Vehicle.t -> others:Vehicle.t list -> t
+
+val alongside_window : float
+(** Longitudinal half-window (m) within which a vehicle in an adjacent
+    lane counts as "alongside" (orientation [Left]/[Right]) rather than
+    front/back. *)
+
+val neighbor : t -> Orientation.t -> Vehicle.t option
+(** Nearest vehicle (by absolute longitudinal distance) in the given
+    orientation relative to the ego, or [None]. Orientations pointing
+    off the road (e.g. [Left] in the leftmost lane) are always [None]. *)
+
+val neighbor_of : t -> Vehicle.t -> Orientation.t -> Vehicle.t option
+(** Same but relative to an arbitrary vehicle of the scene (the ego is
+    included among the candidates). *)
+
+val leader : t -> Vehicle.t -> lane:int -> Vehicle.t option
+(** Nearest vehicle strictly ahead in [lane]. *)
+
+val follower : t -> Vehicle.t -> lane:int -> Vehicle.t option
+
+val has_vehicle_on_left : ?window:float -> t -> bool
+(** The safety-critical predicate of the paper's case study: is there a
+    vehicle alongside in the lane directly to the ego's left?
+    [window] defaults to {!alongside_window}. *)
+
+val min_gap_to_any : t -> float
+(** Smallest bumper gap between any same-lane pair (collision monitor:
+    negative means overlap). Returns [infinity] when no pair shares a
+    lane. *)
+
+val vehicles : t -> Vehicle.t list
+(** Ego first, then others. *)

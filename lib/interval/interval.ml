@@ -1,0 +1,80 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN bound";
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo (%g) > hi (%g)" lo hi);
+  { lo; hi }
+
+let point x = make x x
+let zero = { lo = 0.0; hi = 0.0 }
+
+let top r =
+  assert (r >= 0.0);
+  { lo = -.r; hi = r }
+
+let width i = i.hi -. i.lo
+let mid i = 0.5 *. (i.lo +. i.hi)
+let contains i x = i.lo <= x && x <= i.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let scale s a =
+  if s >= 0.0 then { lo = s *. a.lo; hi = s *. a.hi }
+  else { lo = s *. a.hi; hi = s *. a.lo }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+
+let relu a = { lo = Float.max 0.0 a.lo; hi = Float.max 0.0 a.hi }
+let tanh_ a = { lo = tanh a.lo; hi = tanh a.hi }
+
+let affine w b boxes =
+  if Array.length w <> Array.length boxes then
+    invalid_arg "Interval.affine: dimension mismatch";
+  (* Accumulate each coefficient's min/max contribution separately; this
+     is exact for a box domain. *)
+  let lo = ref b and hi = ref b in
+  for i = 0 to Array.length w - 1 do
+    let c = w.(i) in
+    if c >= 0.0 then begin
+      lo := !lo +. (c *. boxes.(i).lo);
+      hi := !hi +. (c *. boxes.(i).hi)
+    end
+    else begin
+      lo := !lo +. (c *. boxes.(i).hi);
+      hi := !hi +. (c *. boxes.(i).lo)
+    end
+  done;
+  { lo = !lo; hi = !hi }
+
+let pp fmt i = Format.fprintf fmt "[%g, %g]" i.lo i.hi
+
+module Box = struct
+  type box = t array
+
+  let of_bounds l = Array.of_list (List.map (fun (lo, hi) -> make lo hi) l)
+
+  let contains box v =
+    Array.length box = Array.length v
+    && begin
+         let ok = ref true in
+         Array.iteri (fun i x -> if not (contains box.(i) x) then ok := false) v;
+         !ok
+       end
+
+  let sample box rng = Array.map (fun i -> Linalg.Rng.uniform rng i.lo i.hi) box
+  let center box = Array.map mid box
+end

@@ -1,0 +1,53 @@
+(** Closed real intervals [\[lo, hi\]].
+
+    Used for neuron pre-activation bound propagation: sound (outward)
+    bounds on affine images of boxes, and monotone transfer functions
+    for the activation functions the verifier supports. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]; raises [Invalid_argument] if [lo > hi] or either bound
+    is NaN. *)
+
+val point : float -> t
+val zero : t
+val top : float -> t
+(** [top r] is [\[-r, r\]]. *)
+
+val width : t -> float
+val mid : t -> float
+val contains : t -> float -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val intersect : t -> t -> t option
+val hull : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+
+val relu : t -> t
+val tanh_ : t -> t
+(** Image under [tanh] (monotone, hence exact up to rounding). *)
+
+val affine : Linalg.Vec.t -> float -> t array -> t
+(** [affine w b boxes] bounds [w·x + b] for [x] in the box product.
+    Requires [Array.length w = Array.length boxes]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Boxes: products of intervals, one per input dimension. *)
+module Box : sig
+  type box = t array
+
+  val of_bounds : (float * float) list -> box
+  val contains : box -> Linalg.Vec.t -> bool
+  val sample : box -> Linalg.Rng.t -> Linalg.Vec.t
+  (** Uniform sample from the box. *)
+
+  val center : box -> Linalg.Vec.t
+end

@@ -1,0 +1,49 @@
+(** Dense row-major float matrices. *)
+
+type t
+
+val create : int -> int -> float -> t
+val zeros : int -> int -> t
+val identity : int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+(** Copies its argument; rows must all have the same length. *)
+
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+(** Copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** Copy of column [j]. *)
+
+val set_row : t -> int -> Vec.t -> unit
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m x] is the matrix-vector product [m x]. *)
+
+val mul_vec_transpose : t -> Vec.t -> Vec.t
+(** [mul_vec_transpose m y] is [mᵀ y]. *)
+
+val mul : t -> t -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val add_in_place : t -> t -> unit
+(** [add_in_place a b] sets [a <- a + b]. *)
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is the rank-one matrix [u vᵀ]. *)
+
+val map : (float -> float) -> t -> t
+val frobenius : t -> float
+val approx_equal : ?eps:float -> t -> t -> bool
+val to_rows : t -> float array array
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: the output of one step of the generator. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+(* 53 random mantissa bits mapped to [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound =
+  assert (bound > 0.0);
+  unit_float t *. bound
+
+let uniform t lo hi =
+  assert (lo <= hi);
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.of_int (bound - 1) in
+  if bound land (bound - 1) = 0 then
+    Int64.to_int (Int64.logand (int64 t) mask)
+  else
+    (* Rejection sampling over the smallest covering power of two keeps
+       the distribution exactly uniform. *)
+    let rec pow2 p = if p >= bound then p else pow2 (p * 2) in
+    let p = pow2 1 in
+    let m = Int64.of_int (p - 1) in
+    let rec draw () =
+      let candidate = Int64.to_int (Int64.logand (int64 t) m) in
+      if candidate < bound then candidate else draw ()
+    in
+    draw ()
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 1e-300 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mean ~stddev = mean +. (stddev *. gaussian t)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

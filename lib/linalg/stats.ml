@@ -1,0 +1,64 @@
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let m = mean xs in
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+  !acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let covariance xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.covariance: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  !acc /. float_of_int (Array.length xs)
+
+let correlation xs ys =
+  let sx = stddev xs and sy = stddev ys in
+  if sx < 1e-12 || sy < 1e-12 then 0.0 else covariance xs ys /. (sx *. sy)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts
+
+let welford () =
+  let n = ref 0 and m = ref 0.0 and m2 = ref 0.0 in
+  let push x =
+    incr n;
+    let delta = x -. !m in
+    m := !m +. (delta /. float_of_int !n);
+    m2 := !m2 +. (delta *. (x -. !m))
+  in
+  let finish () =
+    let var = if !n = 0 then 0.0 else !m2 /. float_of_int !n in
+    (!m, var, !n)
+  in
+  (push, finish)

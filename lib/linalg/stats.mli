@@ -1,0 +1,22 @@
+(** Small statistics helpers used by traceability analysis and metrics. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val stddev : float array -> float
+val covariance : float array -> float array -> float
+val correlation : float array -> float array -> float
+(** Pearson correlation; returns 0 when either input has zero variance. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input. *)
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
+(** Counts per equal-width bin over [\[lo, hi\]]; values outside the range
+    are clamped into the boundary bins. *)
+
+val welford : unit -> (float -> unit) * (unit -> float * float * int)
+(** Streaming mean/variance: [let push, finish = welford () in ...];
+    [finish ()] returns (mean, population variance, count). *)

@@ -1,0 +1,109 @@
+type t = float array
+
+let create n x = Array.make n x
+let zeros n = Array.make n 0.0
+let init = Array.init
+let of_list = Array.of_list
+let copy = Array.copy
+let dim = Array.length
+
+let get (v : t) i = v.(i)
+let set (v : t) i x = v.(i) <- x
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let mul a b =
+  check_dims "mul" a b;
+  Array.init (Array.length a) (fun i -> a.(i) *. b.(i))
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let dist2 a b = norm2 (sub a b)
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean: empty vector";
+  sum a /. float_of_int (Array.length a)
+
+let min a =
+  if Array.length a = 0 then invalid_arg "Vec.min: empty vector";
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  if Array.length a = 0 then invalid_arg "Vec.max: empty vector";
+  Array.fold_left Float.max a.(0) a
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let argmin a =
+  if Array.length a = 0 then invalid_arg "Vec.argmin: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let iteri = Array.iteri
+let fold = Array.fold_left
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a - 1 do
+         if Float.abs (a.(i) -. b.(i)) > eps then ok := false
+       done;
+       !ok
+     end
+
+let pp fmt v =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    v;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,48 @@
+(** Dense float vectors.
+
+    A thin layer over [float array] giving the numerical operations the
+    rest of the library needs. All binary operations require equal
+    dimensions and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+val zeros : int -> t
+val init : int -> (int -> float) -> t
+val of_list : float list -> t
+val copy : t -> t
+val dim : t -> int
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise product. *)
+
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+val dist2 : t -> t -> float
+
+val sum : t -> float
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val argmax : t -> int
+val argmin : t -> int
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val iteri : (int -> float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance [eps] (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Linear-program builder.
+
+    A problem is a set of bounded variables, an objective (always
+    expressed as maximisation; use {!val:negate_objective} or negate
+    coefficients for minimisation) and linear constraints. Variables are
+    identified by the integer handles returned from {!add_var}.
+
+    All variables must have finite bounds: the verifier only ever
+    creates variables whose range is known (input boxes, propagated
+    neuron bounds, binaries), and finiteness is what guarantees the
+    simplex never meets an unbounded ray. *)
+
+type var = int
+
+type cmp = Le | Ge | Eq
+
+type t
+
+val create : unit -> t
+
+val add_var : t -> ?name:string -> lo:float -> hi:float -> obj:float -> unit -> var
+(** Raises [Invalid_argument] if [lo > hi] or either bound is not finite. *)
+
+val add_constraint : t -> ?name:string -> (var * float) list -> cmp -> float -> unit
+(** [add_constraint t terms cmp rhs] adds [Σ coeff·var cmp rhs]. Repeated
+    variables in [terms] are summed. *)
+
+val set_bounds : t -> var -> lo:float -> hi:float -> unit
+(** Tighten/relax a variable's bounds (used by branch & bound). *)
+
+val bounds : t -> var -> float * float
+val set_objective : t -> (var * float) list -> unit
+val objective_coeff : t -> var -> float
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_name : t -> var -> string
+
+val copy : t -> t
+(** Deep copy; bound mutations on the copy do not affect the original. *)
+
+(** Internal row representation, exposed for the solver and for tests. *)
+type row = { terms : (var * float) array; cmp : cmp; rhs : float; cname : string }
+
+val rows : t -> row array
+val var_lo : t -> float array
+val var_hi : t -> float array
+val objective : t -> float array

@@ -1,0 +1,432 @@
+type status = Optimal | Infeasible | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;
+  x : float array;
+  iterations : int;
+}
+
+type var_status = Basic | At_lower | At_upper
+
+(* Two-phase primal bounded-variable simplex on a dense tableau.
+
+   Columns are laid out [structural | slacks | artificials]. Every
+   variable carries finite bounds (slack bounds are implied by the
+   finite structural bounds; artificials live in [0, |initial
+   residual|]). The initial basis is the artificial identity, which is
+   primal feasible by construction; phase 1 maximises -sum(artificials)
+   to 0 and phase 2 maximises the real objective with artificials pinned
+   to [0,0]. Primal feasibility is invariant, so the only termination
+   hazard is degenerate cycling, which a stall-triggered switch to
+   Bland's rule removes. *)
+type tableau = {
+  m : int;
+  n : int;                     (* total columns incl. slacks+artificials *)
+  nstruct : int;
+  nreal : int;                 (* structural + slack columns *)
+  t : float array array;       (* m x n, current basis representation *)
+  lo : float array;
+  hi : float array;
+  r : float array;             (* reduced costs for the active phase *)
+  cost : float array;          (* objective of the active phase *)
+  basis : int array;
+  status : var_status array;
+  xb : float array;            (* values of basic variables per row *)
+}
+
+exception Infeasible_problem
+
+let row_activity_bounds lo hi (terms : (int * float) array) =
+  let alo = ref 0.0 and ahi = ref 0.0 in
+  Array.iter
+    (fun (v, c) ->
+      if c >= 0.0 then begin
+        alo := !alo +. (c *. lo.(v));
+        ahi := !ahi +. (c *. hi.(v))
+      end
+      else begin
+        alo := !alo +. (c *. hi.(v));
+        ahi := !ahi +. (c *. lo.(v))
+      end)
+    terms;
+  (!alo, !ahi)
+
+(* Slack bounds encode the row sense: activity + slack = rhs. An empty
+   range means the row cannot be satisfied by any point of the box. *)
+let slack_bounds lo hi (row : Problem.row) =
+  let alo, ahi = row_activity_bounds lo hi row.terms in
+  match row.cmp with
+  | Problem.Le ->
+      let shi = row.rhs -. alo in
+      if shi < 0.0 then raise Infeasible_problem;
+      (0.0, shi)
+  | Problem.Ge ->
+      let slo = row.rhs -. ahi in
+      if slo > 0.0 then raise Infeasible_problem;
+      (slo, 0.0)
+  | Problem.Eq ->
+      if row.rhs < alo -. 1e-9 || row.rhs > ahi +. 1e-9 then
+        raise Infeasible_problem;
+      (0.0, 0.0)
+
+let build problem ~negate =
+  let rows = Problem.rows problem in
+  let m = Array.length rows in
+  let nstruct = Problem.num_vars problem in
+  let nreal = nstruct + m in
+  let n = nreal + m in
+  let vlo = Problem.var_lo problem and vhi = Problem.var_hi problem in
+  let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+  Array.blit vlo 0 lo 0 nstruct;
+  Array.blit vhi 0 hi 0 nstruct;
+  let status = Array.make n At_lower in
+  (* Structural variables start at the bound of smaller magnitude (an
+     arbitrary but deterministic choice). *)
+  for j = 0 to nstruct - 1 do
+    status.(j) <-
+      (if Float.abs hi.(j) < Float.abs lo.(j) then At_upper else At_lower)
+  done;
+  let value j = match status.(j) with
+    | At_lower -> lo.(j)
+    | At_upper -> hi.(j)
+    | Basic -> assert false
+  in
+  let t = Array.init m (fun _ -> Array.make n 0.0) in
+  let basis = Array.init m (fun i -> nreal + i) in
+  let xb = Array.make m 0.0 in
+  Array.iteri
+    (fun i row ->
+      let slo, shi = slack_bounds vlo vhi row in
+      let si = nstruct + i in
+      lo.(si) <- slo;
+      hi.(si) <- shi;
+      (* Residual with all non-artificial columns at their bounds; the
+         slack starts at whichever bound leaves the smaller residual. *)
+      let activity =
+        Array.fold_left
+          (fun acc (v, c) -> acc +. (c *. value v))
+          0.0 row.Problem.terms
+      in
+      let resid_at b = row.Problem.rhs -. activity -. b in
+      let s_at_lo = resid_at slo and s_at_hi = resid_at shi in
+      let sstat, resid =
+        if Float.abs s_at_lo <= Float.abs s_at_hi then (At_lower, s_at_lo)
+        else (At_upper, s_at_hi)
+      in
+      status.(si) <- sstat;
+      let sign = if resid >= 0.0 then 1.0 else -1.0 in
+      (* Row scaled by [sign] so the artificial's basic coefficient is +1. *)
+      Array.iter
+        (fun (v, c) -> t.(i).(v) <- t.(i).(v) +. (sign *. c))
+        row.Problem.terms;
+      t.(i).(si) <- sign;
+      let ai = nreal + i in
+      t.(i).(ai) <- 1.0;
+      lo.(ai) <- 0.0;
+      hi.(ai) <- Float.abs resid;
+      status.(ai) <- Basic;
+      xb.(i) <- Float.abs resid)
+    rows;
+  let cost = Array.make n 0.0 in
+  for i = 0 to m - 1 do
+    cost.(nreal + i) <- -1.0
+  done;
+  (* Phase-1 reduced costs: r_j = c_j - c_B . T_j with c_B = -1. *)
+  let r = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. t.(i).(j)
+    done;
+    r.(j) <- cost.(j) +. !acc
+  done;
+  for i = 0 to m - 1 do
+    r.(nreal + i) <- 0.0
+  done;
+  ignore negate;
+  { m; n; nstruct; nreal; t; lo; hi; r; cost; basis; status; xb }
+
+let pivot_tolerance = 1e-8
+
+(* Entering column for the current phase: an improving nonbasic column.
+   Dantzig rule (largest reduced-cost violation) by default, smallest
+   index in Bland mode. *)
+let select_entering tb ~bland eps =
+  let best = ref (-1) and best_score = ref eps in
+  let consider j score =
+    if bland then begin
+      if score > eps && !best < 0 then best := j
+    end
+    else if score > !best_score then begin
+      best_score := score;
+      best := j
+    end
+  in
+  for j = 0 to tb.n - 1 do
+    (match tb.status.(j) with
+     | Basic -> ()
+     | At_lower -> if tb.lo.(j) < tb.hi.(j) then consider j tb.r.(j)
+     | At_upper -> if tb.lo.(j) < tb.hi.(j) then consider j (-.tb.r.(j)))
+  done;
+  !best
+
+type step =
+  | Bound_flip
+  | Pivot of { rrow : int; to_lower : bool }
+  | Unbounded_step  (* cannot happen with finite bounds; defensive *)
+
+(* Ratio test: entering variable q moves by t >= 0 in direction [dir]
+   (+1 from its lower bound, -1 from its upper bound). Basic variable i
+   changes as xb_i - t * dir * T[i][q]. The step is capped by the
+   entering variable's own range (a cap reached first is a bound flip).
+   Ties between blocking rows go to the largest pivot magnitude for
+   stability, or to the smallest basic-variable index in Bland mode. *)
+let ratio_test tb ~q ~dir ~bland =
+  let t_entering = tb.hi.(q) -. tb.lo.(q) in
+  let best_t = ref t_entering in
+  let best_row = ref (-1) and best_to_lower = ref true and best_mag = ref 0.0 in
+  for i = 0 to tb.m - 1 do
+    let k = dir *. tb.t.(i).(q) in
+    if Float.abs k > pivot_tolerance then begin
+      let v = tb.basis.(i) in
+      (* k > 0: basic value decreases towards its lower bound. *)
+      let limit, to_lower =
+        if k > 0.0 then ((tb.xb.(i) -. tb.lo.(v)) /. k, true)
+        else ((tb.xb.(i) -. tb.hi.(v)) /. k, false)
+      in
+      let limit = Float.max 0.0 limit in
+      let mag = Float.abs tb.t.(i).(q) in
+      if limit < !best_t -. 1e-10 then begin
+        best_t := limit;
+        best_row := i;
+        best_to_lower := to_lower;
+        best_mag := mag
+      end
+      else if limit < !best_t +. 1e-10 && !best_row >= 0 then begin
+        let wins =
+          if bland then tb.basis.(i) < tb.basis.(!best_row)
+          else mag > !best_mag
+        in
+        if wins then begin
+          best_row := i;
+          best_to_lower := to_lower;
+          best_mag := mag
+        end
+      end
+      else if limit < !best_t +. 1e-10 && !best_row < 0
+              && limit < t_entering -. 1e-10
+      then begin
+        best_t := limit;
+        best_row := i;
+        best_to_lower := to_lower;
+        best_mag := mag
+      end
+    end
+  done;
+  if !best_row < 0 then
+    if Float.is_finite t_entering then (t_entering, Bound_flip)
+    else (0.0, Unbounded_step)
+  else (!best_t, Pivot { rrow = !best_row; to_lower = !best_to_lower })
+
+let apply_move tb ~q ~dir ~t =
+  for i = 0 to tb.m - 1 do
+    let k = tb.t.(i).(q) in
+    if k <> 0.0 then tb.xb.(i) <- tb.xb.(i) -. (t *. dir *. k)
+  done
+
+let pivot tb ~rrow ~q ~entering_value ~leaving_to_lower =
+  let trow = tb.t.(rrow) in
+  let alpha = trow.(q) in
+  let leaving = tb.basis.(rrow) in
+  let inv = 1.0 /. alpha in
+  for j = 0 to tb.n - 1 do
+    trow.(j) <- trow.(j) *. inv
+  done;
+  trow.(q) <- 1.0;
+  for i = 0 to tb.m - 1 do
+    if i <> rrow then begin
+      let f = tb.t.(i).(q) in
+      if f <> 0.0 then begin
+        let ti = tb.t.(i) in
+        for j = 0 to tb.n - 1 do
+          ti.(j) <- ti.(j) -. (f *. trow.(j))
+        done;
+        ti.(q) <- 0.0
+      end
+    end
+  done;
+  let rq = tb.r.(q) in
+  if rq <> 0.0 then begin
+    for j = 0 to tb.n - 1 do
+      tb.r.(j) <- tb.r.(j) -. (rq *. trow.(j))
+    done;
+    tb.r.(q) <- 0.0
+  end;
+  tb.basis.(rrow) <- q;
+  tb.status.(q) <- Basic;
+  tb.status.(leaving) <- (if leaving_to_lower then At_lower else At_upper);
+  tb.xb.(rrow) <- entering_value
+
+let recompute_reduced_costs tb =
+  for j = 0 to tb.n - 1 do
+    if tb.status.(j) = Basic then tb.r.(j) <- 0.0
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to tb.m - 1 do
+        let cb = tb.cost.(tb.basis.(i)) in
+        if cb <> 0.0 && tb.t.(i).(j) <> 0.0 then
+          acc := !acc +. (cb *. tb.t.(i).(j))
+      done;
+      tb.r.(j) <- tb.cost.(j) -. !acc
+    end
+  done
+
+let phase_objective tb =
+  let total = ref 0.0 in
+  for i = 0 to tb.m - 1 do
+    let c = tb.cost.(tb.basis.(i)) in
+    if c <> 0.0 then total := !total +. (c *. tb.xb.(i))
+  done;
+  for j = 0 to tb.n - 1 do
+    (match tb.status.(j) with
+     | Basic -> ()
+     | At_lower -> if tb.cost.(j) <> 0.0 then total := !total +. (tb.cost.(j) *. tb.lo.(j))
+     | At_upper -> if tb.cost.(j) <> 0.0 then total := !total +. (tb.cost.(j) *. tb.hi.(j)))
+  done;
+  !total
+
+(* Run primal iterations for the current phase until no improving column
+   remains. Returns the iteration count consumed or None on limit. *)
+let optimize tb ~eps ~limit ~start_iter =
+  let stall_threshold = 4 * (tb.m + 16) in
+  let rec loop iter ~bland ~stall ~best_obj =
+    if iter >= limit then None
+    else begin
+      if iter mod 1024 = 1023 then recompute_reduced_costs tb;
+      let q = select_entering tb ~bland eps in
+      if q < 0 then Some iter
+      else begin
+        let dir = match tb.status.(q) with
+          | At_lower -> 1.0
+          | At_upper -> -1.0
+          | Basic -> assert false
+        in
+        let t, step = ratio_test tb ~q ~dir ~bland in
+        match step with
+        | Unbounded_step ->
+            (* Finite bounds make this impossible; bail out as a limit. *)
+            None
+        | Bound_flip ->
+            apply_move tb ~q ~dir ~t;
+            tb.status.(q) <- (if dir > 0.0 then At_upper else At_lower);
+            let obj = phase_objective tb in
+            let bland, stall, best_obj =
+              if bland then (true, 0, best_obj)
+              else if obj > best_obj +. 1e-12 then (false, 0, obj)
+              else if stall + 1 >= stall_threshold then (true, 0, best_obj)
+              else (false, stall + 1, best_obj)
+            in
+            loop (iter + 1) ~bland ~stall ~best_obj
+        | Pivot { rrow; to_lower } ->
+            apply_move tb ~q ~dir ~t;
+            let entering_value =
+              (if dir > 0.0 then tb.lo.(q) else tb.hi.(q)) +. (dir *. t)
+            in
+            pivot tb ~rrow ~q ~entering_value ~leaving_to_lower:to_lower;
+            let obj = phase_objective tb in
+            let bland, stall, best_obj =
+              if bland then (true, 0, best_obj)
+              else if obj > best_obj +. 1e-12 then (false, 0, obj)
+              else if stall + 1 >= stall_threshold then (true, 0, best_obj)
+              else (false, stall + 1, best_obj)
+            in
+            loop (iter + 1) ~bland ~stall ~best_obj
+      end
+    end
+  in
+  loop start_iter ~bland:false ~stall:0 ~best_obj:(phase_objective tb)
+
+let extract tb =
+  let row_of = Array.make tb.n (-1) in
+  Array.iteri (fun i v -> row_of.(v) <- i) tb.basis;
+  Array.init tb.nstruct (fun j ->
+      match tb.status.(j) with
+      | Basic -> tb.xb.(row_of.(j))
+      | At_lower -> tb.lo.(j)
+      | At_upper -> tb.hi.(j))
+
+let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
+  match build problem ~negate with
+  | exception Infeasible_problem ->
+      { status = Infeasible; objective = 0.0; x = [||]; iterations = 0 }
+  | tb ->
+      let limit =
+        match max_iterations with
+        | Some l -> l
+        | None -> 500 * (tb.m + tb.n)
+      in
+      (* Phase 1: drive sum of artificials to zero. *)
+      let result =
+        match optimize tb ~eps ~limit ~start_iter:0 with
+        | None -> (Iteration_limit, limit)
+        | Some it1 ->
+            let infeasibility = -.phase_objective tb in
+            if infeasibility > 1e-6 then (Infeasible, it1)
+            else begin
+              (* Pin artificials and switch to the real objective. *)
+              for i = 0 to tb.m - 1 do
+                let ai = tb.nreal + i in
+                tb.hi.(ai) <- 0.0;
+                if tb.status.(ai) = At_upper then tb.status.(ai) <- At_lower
+              done;
+              let obj = Problem.objective problem in
+              Array.fill tb.cost 0 tb.n 0.0;
+              for j = 0 to tb.nstruct - 1 do
+                tb.cost.(j) <- (if negate then -.obj.(j) else obj.(j))
+              done;
+              recompute_reduced_costs tb;
+              match optimize tb ~eps ~limit ~start_iter:it1 with
+              | None -> (Iteration_limit, limit)
+              | Some it2 -> (Optimal, it2)
+            end
+      in
+      let status, iterations = result in
+      let x = extract tb in
+      let obj = Problem.objective problem in
+      let value = ref 0.0 in
+      for j = 0 to tb.nstruct - 1 do
+        value := !value +. (obj.(j) *. x.(j))
+      done;
+      { status; objective = !value; x; iterations }
+
+let solve ?max_iterations ?eps problem =
+  solve_internal ?max_iterations ?eps problem ~negate:false
+
+let solve_min ?max_iterations ?eps problem =
+  solve_internal ?max_iterations ?eps problem ~negate:true
+
+let primal_feasible ?(eps = 1e-6) problem x =
+  let n = Problem.num_vars problem in
+  Array.length x = n
+  && begin
+       let lo = Problem.var_lo problem and hi = Problem.var_hi problem in
+       let ok = ref true in
+       for j = 0 to n - 1 do
+         if x.(j) < lo.(j) -. eps || x.(j) > hi.(j) +. eps then ok := false
+       done;
+       Array.iter
+         (fun (row : Problem.row) ->
+           let act =
+             Array.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 row.terms
+           in
+           let sat =
+             match row.cmp with
+             | Problem.Le -> act <= row.rhs +. eps
+             | Problem.Ge -> act >= row.rhs -. eps
+             | Problem.Eq -> Float.abs (act -. row.rhs) <= eps
+           in
+           if not sat then ok := false)
+         (Problem.rows problem);
+       !ok
+     end

@@ -1,0 +1,36 @@
+(** Bounded-variable dual simplex.
+
+    Solves [maximize c·x subject to rows, l <= x <= u] for problems
+    built with {!Problem}. The initial slack basis is dual feasible by
+    construction (nonbasic variables are placed on the bound matching
+    the sign of their reduced cost), so a single dual-simplex phase
+    drives the basis to primal feasibility and optimality at once —
+    there is no separate phase 1. This also makes the solver a natural
+    fit for branch & bound, where only variable bounds change between
+    solves.
+
+    Primal unboundedness cannot occur because every variable carries
+    finite bounds (enforced by {!Problem.add_var}). *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Iteration_limit  (** gave up; treat as unknown *)
+
+type solution = {
+  status : status;
+  objective : float;  (** meaningful only when [status = Optimal] *)
+  x : float array;    (** structural variable values (primal point) *)
+  iterations : int;
+}
+
+val solve : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
+(** Maximise the problem's objective. [eps] is the feasibility/optimality
+    tolerance (default [1e-7]). [max_iterations] defaults to
+    [200 * (rows + vars)]. *)
+
+val solve_min : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
+(** Minimise instead; [objective] is reported in the minimisation sense. *)
+
+val primal_feasible : ?eps:float -> Problem.t -> float array -> bool
+(** Check a point against all bounds and constraints (testing helper). *)

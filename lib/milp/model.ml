@@ -1,0 +1,50 @@
+type var = Lp.Problem.var
+
+type t = {
+  problem : Lp.Problem.t;
+  mutable ints_rev : var list;
+  ints : (var, unit) Hashtbl.t;
+}
+
+let create () =
+  { problem = Lp.Problem.create (); ints_rev = []; ints = Hashtbl.create 64 }
+
+let add_continuous t ?name ~lo ~hi () =
+  Lp.Problem.add_var t.problem ?name ~lo ~hi ~obj:0.0 ()
+
+let mark_integer t v =
+  t.ints_rev <- v :: t.ints_rev;
+  Hashtbl.replace t.ints v ()
+
+let add_binary t ?name () =
+  let v = Lp.Problem.add_var t.problem ?name ~lo:0.0 ~hi:1.0 ~obj:0.0 () in
+  mark_integer t v;
+  v
+
+let add_integer t ?name ~lo ~hi () =
+  let v =
+    Lp.Problem.add_var t.problem ?name ~lo:(float_of_int lo)
+      ~hi:(float_of_int hi) ~obj:0.0 ()
+  in
+  mark_integer t v;
+  v
+
+let add_le t ?name terms rhs =
+  Lp.Problem.add_constraint t.problem ?name terms Lp.Problem.Le rhs
+
+let add_ge t ?name terms rhs =
+  Lp.Problem.add_constraint t.problem ?name terms Lp.Problem.Ge rhs
+
+let add_eq t ?name terms rhs =
+  Lp.Problem.add_constraint t.problem ?name terms Lp.Problem.Eq rhs
+
+let set_objective t terms = Lp.Problem.set_objective t.problem terms
+
+let integer_vars t = List.rev t.ints_rev
+let is_integer t v = Hashtbl.mem t.ints v
+let num_vars t = Lp.Problem.num_vars t.problem
+let num_constraints t = Lp.Problem.num_constraints t.problem
+let num_integer_vars t = Hashtbl.length t.ints
+let var_name t v = Lp.Problem.var_name t.problem v
+let bounds t v = Lp.Problem.bounds t.problem v
+let lp t = t.problem

@@ -1,0 +1,34 @@
+(** Mixed-integer linear program builder.
+
+    A thin layer over {!Lp.Problem} that additionally remembers which
+    variables are integral. The verifier only needs binaries (one per
+    unstable ReLU neuron), but general bounded integers are supported. *)
+
+type var = Lp.Problem.var
+
+type t
+
+val create : unit -> t
+
+val add_continuous : t -> ?name:string -> lo:float -> hi:float -> unit -> var
+val add_binary : t -> ?name:string -> unit -> var
+val add_integer : t -> ?name:string -> lo:int -> hi:int -> unit -> var
+
+val add_le : t -> ?name:string -> (var * float) list -> float -> unit
+val add_ge : t -> ?name:string -> (var * float) list -> float -> unit
+val add_eq : t -> ?name:string -> (var * float) list -> float -> unit
+
+val set_objective : t -> (var * float) list -> unit
+
+val integer_vars : t -> var list
+(** In insertion order. *)
+
+val is_integer : t -> var -> bool
+val num_vars : t -> int
+val num_constraints : t -> int
+val num_integer_vars : t -> int
+val var_name : t -> var -> string
+val bounds : t -> var -> float * float
+
+val lp : t -> Lp.Problem.t
+(** The underlying LP (the relaxation when integrality is ignored). *)

@@ -1,0 +1,268 @@
+type outcome = Optimal | Infeasible | Time_limit | Node_limit
+
+type result = {
+  outcome : outcome;
+  incumbent : (float array * float) option;
+  best_bound : float;
+  nodes : int;
+  elapsed : float;
+  lp_iterations : int;
+}
+
+type branch_rule =
+  | Most_fractional
+  | Priority of (Model.var -> int)
+  | Pseudo_first of int array
+
+(* A search node is the chain of bound tightenings applied on top of the
+   root problem, plus the bound inherited from its parent's relaxation
+   (used as the best-first priority until the node's own LP is solved). *)
+type node = {
+  fixes : (Model.var * float * float) list;
+  parent_bound : float;
+  depth : int;
+}
+
+(* Max-heap on parent bound. *)
+module Heap = struct
+  type t = { mutable data : node array; mutable size : int }
+
+  let create () = { data = Array.make 64 { fixes = []; parent_bound = 0.0; depth = 0 }; size = 0 }
+
+  let better a b =
+    a.parent_bound > b.parent_bound
+    || (a.parent_bound = b.parent_bound && a.depth > b.depth)
+
+  let push h n =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) n in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- n;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && better h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.size && better h.data.(l) h.data.(!best) then best := l;
+        if r < h.size && better h.data.(r) h.data.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.data.(!best) in
+          h.data.(!best) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+
+  let peek_bound h = if h.size = 0 then None else Some h.data.(0).parent_bound
+end
+
+let fractionality x =
+  let f = x -. Float.round x in
+  Float.abs f
+
+let select_branch_var rule ints int_eps x =
+  let fractional =
+    List.filter (fun v -> fractionality x.(v) > int_eps) ints
+  in
+  match fractional with
+  | [] -> None
+  | _ :: _ -> (
+      match rule with
+      | Most_fractional ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match acc with
+                | None -> Some v
+                | Some b ->
+                    if fractionality x.(v) > fractionality x.(b) then Some v
+                    else acc)
+              None fractional
+          in
+          best
+      | Priority priority ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match acc with
+                | None -> Some v
+                | Some b ->
+                    let pv = priority v and pb = priority b in
+                    if
+                      pv < pb
+                      || (pv = pb && fractionality x.(v) > fractionality x.(b))
+                    then Some v
+                    else acc)
+              None fractional
+          in
+          best
+      | Pseudo_first order ->
+          let in_order =
+            Array.to_list order
+            |> List.filter (fun v -> fractionality x.(v) > int_eps)
+          in
+          (match in_order with v :: _ -> Some v | [] -> (match fractional with v :: _ -> Some v | [] -> None)))
+
+let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
+    ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
+    ?(cutoff = neg_infinity) ?primal_heuristic model =
+  let base = Model.lp model in
+  let ints = Model.integer_vars model in
+  let start = Unix.gettimeofday () in
+  let heap = Heap.create () in
+  let stack = ref [] in
+  let push n = if depth_first then stack := n :: !stack else Heap.push heap n in
+  let pop () =
+    if depth_first then
+      match !stack with
+      | [] -> None
+      | n :: rest ->
+          stack := rest;
+          Some n
+    else Heap.pop heap
+  in
+  push { fixes = []; parent_bound = infinity; depth = 0 };
+  let incumbent = ref None in
+  let incumbent_value = ref cutoff in
+  let nodes = ref 0 in
+  let lp_iters = ref 0 in
+  let best_open_bound () =
+    if depth_first then
+      (* A LIFO order gives no tight global bound; fall back to the
+         weakest open parent bound. *)
+      List.fold_left (fun acc n -> Float.max acc n.parent_bound) neg_infinity
+        !stack
+    else match Heap.peek_bound heap with Some b -> b | None -> neg_infinity
+  in
+  let finish outcome =
+    let bound =
+      let open_bound = best_open_bound () in
+      match !incumbent with
+      | Some _ -> Float.max !incumbent_value open_bound
+      | None -> Float.max cutoff open_bound
+    in
+    {
+      outcome;
+      incumbent = !incumbent;
+      best_bound = bound;
+      nodes = !nodes;
+      elapsed = Unix.gettimeofday () -. start;
+      lp_iterations = !lp_iters;
+    }
+  in
+  let rec loop () =
+    if Unix.gettimeofday () -. start > time_limit then finish Time_limit
+    else if !nodes >= node_limit then finish Node_limit
+    else
+      match pop () with
+      | None ->
+          (* Exhausted search: with a finite cutoff, an empty incumbent
+             is a proof that the optimum is <= cutoff, not
+             infeasibility. *)
+          if !incumbent = None && cutoff = neg_infinity then finish Infeasible
+          else finish Optimal
+      | Some node ->
+          if node.parent_bound <= !incumbent_value +. eps then
+            (* Pruned by an incumbent found after this node was queued. *)
+            loop ()
+          else begin
+            incr nodes;
+            let problem = Lp.Problem.copy base in
+            List.iter
+              (fun (v, lo, hi) -> Lp.Problem.set_bounds problem v ~lo ~hi)
+              node.fixes;
+            let relax = Lp.Simplex.solve problem in
+            lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
+            (match relax.Lp.Simplex.status with
+             | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
+             | Lp.Simplex.Optimal ->
+                 let bound = relax.Lp.Simplex.objective in
+                 (* Caller-supplied rounding heuristic: project the
+                    relaxation point onto a feasible integral one. *)
+                 (match primal_heuristic with
+                  | Some heuristic -> (
+                      match heuristic relax.Lp.Simplex.x with
+                      | Some (point, value) when value > !incumbent_value +. eps
+                        ->
+                          incumbent := Some (point, value);
+                          incumbent_value := value
+                      | Some _ | None -> ())
+                  | None -> ());
+                 if bound > !incumbent_value +. eps then begin
+                   match select_branch_var branch_rule ints int_eps relax.Lp.Simplex.x with
+                   | None ->
+                       (* Integral: new incumbent. *)
+                       incumbent := Some (relax.Lp.Simplex.x, bound);
+                       incumbent_value := bound
+                   | Some v ->
+                       let xv = relax.Lp.Simplex.x.(v) in
+                       let lo, hi = Lp.Problem.bounds problem v in
+                       let floor_v = Float.floor xv and ceil_v = Float.ceil xv in
+                       (* Down child first so the depth-first stack explores
+                          the "inactive neuron" side first. *)
+                       if ceil_v <= hi then
+                         push
+                           {
+                             fixes = (v, ceil_v, hi) :: node.fixes;
+                             parent_bound = bound;
+                             depth = node.depth + 1;
+                           };
+                       if floor_v >= lo then
+                         push
+                           {
+                             fixes = (v, lo, floor_v) :: node.fixes;
+                             parent_bound = bound;
+                             depth = node.depth + 1;
+                           }
+                 end);
+            loop ()
+          end
+  in
+  loop ()
+
+let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
+    ?cutoff ?primal_heuristic model =
+  (* Negate the objective, maximise, then report back in min sense. *)
+  let problem = Model.lp model in
+  let n = Lp.Problem.num_vars problem in
+  let original = Lp.Problem.objective problem in
+  let negated = List.init n (fun v -> (v, -.original.(v))) in
+  Lp.Problem.set_objective problem negated;
+  let neg_heuristic =
+    Option.map
+      (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
+      primal_heuristic
+  in
+  let r =
+    solve ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
+      ?cutoff:(Option.map (fun c -> -.c) cutoff)
+      ?primal_heuristic:neg_heuristic model
+  in
+  let restore = List.init n (fun v -> (v, original.(v))) in
+  Lp.Problem.set_objective problem restore;
+  {
+    r with
+    incumbent = Option.map (fun (x, v) -> (x, -.v)) r.incumbent;
+    best_bound = -.r.best_bound;
+  }

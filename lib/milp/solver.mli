@@ -1,0 +1,78 @@
+(** Branch & bound for {!Model} instances (maximisation).
+
+    Best-first search on the LP-relaxation bound. At each node the
+    relaxation is solved by the dual simplex; fractional integer
+    variables are branched on (most-fractional by default, or the
+    caller's priority order). Because the paper's Table II reports a
+    *time-out* for its widest network, the solver treats a wall-clock
+    limit as a first-class outcome and reports the best incumbent and
+    the remaining bound (optimality gap) when it stops early. *)
+
+type outcome =
+  | Optimal        (** incumbent proven optimal within [eps] *)
+  | Infeasible
+  | Time_limit     (** stopped early; [incumbent]/[best_bound] still valid *)
+  | Node_limit
+
+type result = {
+  outcome : outcome;
+  incumbent : (float array * float) option;
+      (** best integral solution found: (point, objective) *)
+  best_bound : float;
+      (** valid upper bound on the optimum (for maximisation) *)
+  nodes : int;
+  elapsed : float;  (** seconds *)
+  lp_iterations : int;  (** total simplex pivots across all nodes *)
+}
+
+type branch_rule =
+  | Most_fractional
+  | Priority of (Model.var -> int)
+      (** branch on the eligible fractional variable with the smallest
+          priority value (ties broken by fractionality); lets the
+          encoder branch layer-by-layer *)
+  | Pseudo_first of int array
+      (** explicit order: first fractional variable in the given array *)
+
+val solve :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?eps:float ->
+  ?int_eps:float ->
+  ?branch_rule:branch_rule ->
+  ?depth_first:bool ->
+  ?cutoff:float ->
+  ?primal_heuristic:(float array -> (float array * float) option) ->
+  Model.t ->
+  result
+(** Maximise the model objective. [eps] (default 1e-6) is the absolute
+    optimality gap below which a node is pruned against the incumbent.
+    [time_limit] is wall-clock seconds. [depth_first] switches the node
+    order from best-first to LIFO (ablation hook).
+
+    [cutoff] turns the search into a decision query: nodes whose bound
+    is at most [cutoff] are pruned as if an incumbent of that value were
+    already known. An [Optimal] outcome with [incumbent = None] then
+    certifies that the true maximum is <= [cutoff] — this is how the
+    paper's "prove the lateral velocity can never exceed 3 m/s" query is
+    answered without computing the exact maximum.
+
+    [primal_heuristic] is called with each node's relaxation point; it
+    may return a {e feasible} integral solution vector and its objective
+    value, which is adopted as incumbent when it improves. The solver
+    trusts the caller on feasibility (the NN encoder derives such points
+    by forward-running the network on the relaxation's input block). *)
+
+val solve_min :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?eps:float ->
+  ?int_eps:float ->
+  ?branch_rule:branch_rule ->
+  ?depth_first:bool ->
+  ?cutoff:float ->
+  ?primal_heuristic:(float array -> (float array * float) option) ->
+  Model.t ->
+  result
+(** Minimise; [best_bound] is then a valid lower bound, and incumbent
+    objectives are reported in the minimisation sense. *)

@@ -1,0 +1,52 @@
+type t = Relu | Tanh | Sigmoid | Identity
+
+let apply t x =
+  match t with
+  | Relu -> Float.max 0.0 x
+  | Tanh -> tanh x
+  | Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+  | Identity -> x
+
+let derivative t x =
+  match t with
+  | Relu -> if x > 0.0 then 1.0 else 0.0
+  | Tanh ->
+      let y = tanh x in
+      1.0 -. (y *. y)
+  | Sigmoid ->
+      let s = 1.0 /. (1.0 +. exp (-.x)) in
+      s *. (1.0 -. s)
+  | Identity -> 1.0
+
+let apply_vec t v = Array.map (apply t) v
+let derivative_vec t v = Array.map (derivative t) v
+
+let interval t (i : Interval.t) =
+  match t with
+  | Relu -> Interval.relu i
+  | Tanh -> Interval.tanh_ i
+  | Sigmoid -> Interval.make (apply Sigmoid i.Interval.lo) (apply Sigmoid i.Interval.hi)
+  | Identity -> i
+
+let is_piecewise_linear = function
+  | Relu | Identity -> true
+  | Tanh | Sigmoid -> false
+
+let branches_per_neuron = function
+  | Relu -> 1
+  | Tanh | Sigmoid | Identity -> 0
+
+let name = function
+  | Relu -> "relu"
+  | Tanh -> "tanh"
+  | Sigmoid -> "sigmoid"
+  | Identity -> "identity"
+
+let of_name = function
+  | "relu" -> Relu
+  | "tanh" -> Tanh
+  | "sigmoid" -> Sigmoid
+  | "identity" -> Identity
+  | s -> invalid_arg ("Activation.of_name: unknown activation " ^ s)
+
+let pp fmt t = Format.pp_print_string fmt (name t)

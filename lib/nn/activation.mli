@@ -1,0 +1,37 @@
+(** Element-wise activation functions.
+
+    The verification story of the paper hinges on the activation choice:
+    ReLU networks are piecewise linear (MILP-encodable, but each neuron
+    is an if-then-else branch for coverage purposes), while tanh
+    networks have no branches at all (MC/DC trivial) and fall outside
+    the MILP fragment. *)
+
+type t =
+  | Relu
+  | Tanh
+  | Sigmoid
+  | Identity
+
+val apply : t -> float -> float
+
+val derivative : t -> float -> float
+(** Derivative at the given {e pre-activation} value. *)
+
+val apply_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+val derivative_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val interval : t -> Interval.t -> Interval.t
+(** Sound image of an interval (all four functions are monotone). *)
+
+val is_piecewise_linear : t -> bool
+(** True exactly for the activations the MILP encoder supports. *)
+
+val branches_per_neuron : t -> int
+(** Number of if-then-else branches a neuron with this activation
+    contributes to the decision structure (ReLU: 1, others: 0). *)
+
+val name : t -> string
+val of_name : string -> t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val pp : Format.formatter -> t -> unit

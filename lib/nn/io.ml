@@ -1,0 +1,102 @@
+let magic = "depnn-network v1"
+
+let float_to_string x = Printf.sprintf "%.17g" x
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" (Network.num_layers net));
+  for i = 0 to Network.num_layers net - 1 do
+    let l = Network.layer net i in
+    let out = Layer.output_dim l and inp = Layer.input_dim l in
+    Buffer.add_string buf
+      (Printf.sprintf "layer %d %d %s\n" out inp
+         (Activation.name l.Layer.activation));
+    let add_vec v =
+      Array.iteri
+        (fun j x ->
+          if j > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (float_to_string x))
+        v;
+      Buffer.add_char buf '\n'
+    in
+    add_vec l.Layer.bias;
+    for r = 0 to out - 1 do
+      add_vec (Linalg.Mat.row l.Layer.weights r)
+    done
+  done;
+  Buffer.contents buf
+
+let parse_floats line expected what =
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  if List.length parts <> expected then
+    failwith
+      (Printf.sprintf "Io.of_string: %s: expected %d floats, got %d" what
+         expected (List.length parts));
+  Array.of_list
+    (List.map
+       (fun s ->
+         match float_of_string_opt s with
+         | Some f -> f
+         | None -> failwith ("Io.of_string: bad float " ^ s))
+       parts)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = Array.of_list lines in
+  let pos = ref 0 in
+  let next what =
+    if !pos >= Array.length lines then
+      failwith ("Io.of_string: unexpected end of input, wanted " ^ what);
+    let l = lines.(!pos) in
+    incr pos;
+    l
+  in
+  if String.trim (next "magic") <> magic then
+    failwith "Io.of_string: bad magic line";
+  let nlayers =
+    match String.split_on_char ' ' (String.trim (next "layer count")) with
+    | [ "layers"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | Some _ | None -> failwith "Io.of_string: bad layer count")
+    | _ -> failwith "Io.of_string: expected 'layers <n>'"
+  in
+  let layers =
+    Array.init nlayers (fun i ->
+        let header = String.trim (next "layer header") in
+        match String.split_on_char ' ' header with
+        | [ "layer"; out; inp; act ] ->
+            let out = int_of_string out and inp = int_of_string inp in
+            let activation = Activation.of_name act in
+            let bias =
+              parse_floats (next "bias") out (Printf.sprintf "layer %d bias" i)
+            in
+            let rows =
+              Array.init out (fun r ->
+                  parse_floats (next "weights") inp
+                    (Printf.sprintf "layer %d row %d" i r))
+            in
+            Layer.make (Linalg.Mat.of_rows rows) bias activation
+        | _ -> failwith ("Io.of_string: bad layer header: " ^ header))
+  in
+  Network.make layers
+
+let save path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)

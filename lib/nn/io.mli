@@ -1,0 +1,15 @@
+(** Plain-text (de)serialisation of networks.
+
+    A simple line-oriented format ("depnn-network v1") so trained
+    predictors can be saved, shipped to the verifier, and inspected with
+    standard tools. Floats are printed with 17 significant digits, which
+    round-trips IEEE 754 doubles exactly. *)
+
+val to_string : Network.t -> string
+val of_string : string -> Network.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val save : string -> Network.t -> unit
+(** [save path net] writes the network to [path]. *)
+
+val load : string -> Network.t

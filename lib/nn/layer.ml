@@ -1,0 +1,23 @@
+type t = {
+  weights : Linalg.Mat.t;
+  bias : Linalg.Vec.t;
+  activation : Activation.t;
+}
+
+let make weights bias activation =
+  if Linalg.Mat.rows weights <> Linalg.Vec.dim bias then
+    invalid_arg "Layer.make: weight rows must match bias dimension";
+  { weights; bias; activation }
+
+let input_dim t = Linalg.Mat.cols t.weights
+let output_dim t = Linalg.Mat.rows t.weights
+let num_params t = (input_dim t * output_dim t) + output_dim t
+
+let pre_activation t x =
+  let z = Linalg.Mat.mul_vec t.weights x in
+  Linalg.Vec.axpy 1.0 t.bias z;
+  z
+
+let forward t x = Activation.apply_vec t.activation (pre_activation t x)
+
+let copy t = { t with weights = Linalg.Mat.copy t.weights; bias = Linalg.Vec.copy t.bias }

@@ -1,0 +1,22 @@
+(** One fully-connected layer: [a = act (W x + b)]. *)
+
+type t = {
+  weights : Linalg.Mat.t;  (** [output_dim x input_dim] *)
+  bias : Linalg.Vec.t;     (** [output_dim] *)
+  activation : Activation.t;
+}
+
+val make : Linalg.Mat.t -> Linalg.Vec.t -> Activation.t -> t
+(** Raises [Invalid_argument] if [Mat.rows weights <> Vec.dim bias]. *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+val num_params : t -> int
+
+val pre_activation : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [W x + b]. *)
+
+val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [act (W x + b)]. *)
+
+val copy : t -> t

@@ -1,0 +1,60 @@
+(** Feedforward networks (multilayer perceptrons).
+
+    The paper's motion predictors are written I4×n: 84 inputs, four
+    hidden ReLU layers of width n, and a linear output head whose
+    entries parameterise a Gaussian mixture (see {!Gmm}). *)
+
+type t = { layers : Layer.t array }
+
+val make : Layer.t array -> t
+(** Checks that consecutive layer dimensions agree. *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+val num_layers : t -> int
+val num_hidden_neurons : t -> int
+(** Total neuron count over hidden (non-final) layers. *)
+
+val num_params : t -> int
+val layer : t -> int -> Layer.t
+
+val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+type trace = {
+  pre : Linalg.Vec.t array;   (** pre-activations per layer *)
+  post : Linalg.Vec.t array;  (** activations per layer; [post.(last)] is the output *)
+}
+
+val forward_trace : t -> Linalg.Vec.t -> trace
+
+val architecture : t -> int list
+(** Dimensions [input; hidden...; output]. *)
+
+val describe : t -> string
+(** e.g. ["I4x20 (84-20-20-20-20-30, relu)"]-style human summary. *)
+
+val copy : t -> t
+
+(** {1 Construction} *)
+
+val create :
+  rng:Linalg.Rng.t ->
+  ?hidden_activation:Activation.t ->
+  ?output_activation:Activation.t ->
+  int list ->
+  t
+(** [create ~rng dims] builds a network with the given layer dimensions
+    ([dims = [input; h1; ...; output]], at least two entries) and
+    He-initialised weights. Hidden activation defaults to [Relu], output
+    to [Identity]. *)
+
+val i4xn :
+  rng:Linalg.Rng.t ->
+  ?input_dim:int ->
+  ?output_dim:int ->
+  ?hidden_activation:Activation.t ->
+  int ->
+  t
+(** [i4xn ~rng n] is the paper's I4×n architecture: [input_dim]
+    (default 84) inputs, four hidden layers of width [n], linear output
+    of [output_dim] (default {!Gmm.output_dim} for 3 components). *)

@@ -1,0 +1,49 @@
+type report = {
+  bits : int;
+  scales : float array;
+  max_weight_error : float;
+}
+
+let quantize ~bits net =
+  if bits < 2 then invalid_arg "Quantize.quantize: need at least 2 bits";
+  let levels = float_of_int ((1 lsl (bits - 1)) - 1) in
+  let n = Network.num_layers net in
+  let scales = Array.make n 0.0 in
+  let max_error = ref 0.0 in
+  let layers =
+    Array.init n (fun i ->
+        let l = Network.layer net i in
+        let w = l.Layer.weights and b = l.Layer.bias in
+        let max_mag = ref 0.0 in
+        for r = 0 to Linalg.Mat.rows w - 1 do
+          for c = 0 to Linalg.Mat.cols w - 1 do
+            max_mag := Float.max !max_mag (Float.abs (Linalg.Mat.get w r c))
+          done
+        done;
+        Array.iter (fun x -> max_mag := Float.max !max_mag (Float.abs x)) b;
+        let scale = if !max_mag = 0.0 then 1.0 else !max_mag /. levels in
+        scales.(i) <- scale;
+        let snap x =
+          let q = Float.round (x /. scale) in
+          let q = Float.max (-.levels) (Float.min levels q) in
+          let x' = q *. scale in
+          max_error := Float.max !max_error (Float.abs (x' -. x));
+          x'
+        in
+        Layer.make (Linalg.Mat.map snap w) (Array.map snap b) l.Layer.activation)
+  in
+  ( Network.make layers,
+    { bits; scales; max_weight_error = !max_error } )
+
+let output_deviation ~rng ~samples ~radius a b =
+  if Network.input_dim a <> Network.input_dim b then
+    invalid_arg "Quantize.output_deviation: input dimension mismatch";
+  let dim = Network.input_dim a in
+  let worst = ref 0.0 in
+  for _ = 1 to samples do
+    let x = Array.init dim (fun _ -> Linalg.Rng.uniform rng (-.radius) radius) in
+    let da = Network.forward a x and db = Network.forward b x in
+    let dev = Linalg.Vec.norm_inf (Linalg.Vec.sub da db) in
+    if dev > !worst then worst := dev
+  done;
+  !worst

@@ -1,0 +1,35 @@
+(** Weight quantization (the paper's Sec. IV(ii)): "Recent results on
+    quantized neural networks might make verification more scalable via
+    an encoding to bitvector theories in SMT."
+
+    This module provides the network-side half of that direction:
+    symmetric per-layer fixed-point quantization of weights and biases.
+    The quantized network is still an ordinary {!Network.t} (weights are
+    de-quantized floats on an integer grid), so the MILP encoder and the
+    whole verification stack apply unchanged — while every parameter is
+    exactly representable as a [bits]-bit integer times the layer scale,
+    which is the precondition for a future bitvector/SMT backend. *)
+
+type report = {
+  bits : int;
+  scales : float array;        (** per-layer quantization step *)
+  max_weight_error : float;    (** worst absolute parameter perturbation *)
+}
+
+val quantize : bits:int -> Network.t -> Network.t * report
+(** [quantize ~bits net] returns a fresh network whose parameters lie on
+    the per-layer grid [{-(2^(bits-1)-1) .. 2^(bits-1)-1} * scale], with
+    the scale chosen so the largest-magnitude parameter of the layer is
+    representable. [bits] must be at least 2. The original network is
+    not modified. *)
+
+val output_deviation :
+  rng:Linalg.Rng.t ->
+  samples:int ->
+  radius:float ->
+  Network.t ->
+  Network.t ->
+  float
+(** Empirical worst output infinity-norm deviation between two networks
+    over uniformly sampled inputs in [\[-radius, radius\]^d] (used to
+    report the accuracy cost of quantization). *)

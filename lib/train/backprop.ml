@@ -1,0 +1,82 @@
+type grads = { dw : Linalg.Mat.t array; db : Linalg.Vec.t array }
+
+let zero_like net =
+  let n = Nn.Network.num_layers net in
+  {
+    dw =
+      Array.init n (fun i ->
+          let l = Nn.Network.layer net i in
+          Linalg.Mat.zeros (Nn.Layer.output_dim l) (Nn.Layer.input_dim l));
+    db =
+      Array.init n (fun i ->
+          Linalg.Vec.zeros (Nn.Layer.output_dim (Nn.Network.layer net i)));
+  }
+
+let accumulate acc g =
+  Array.iteri (fun i m -> Linalg.Mat.add_in_place acc.dw.(i) m) g.dw;
+  Array.iteri (fun i v -> Linalg.Vec.axpy 1.0 v acc.db.(i)) g.db
+
+let scale_in_place g s =
+  Array.iteri
+    (fun i m ->
+      let scaled = Linalg.Mat.scale s m in
+      g.dw.(i) <- scaled)
+    g.dw;
+  Array.iteri (fun i v -> g.db.(i) <- Linalg.Vec.scale s v) g.db
+
+let global_norm g =
+  let acc = ref 0.0 in
+  Array.iter (fun m -> acc := !acc +. (Linalg.Mat.frobenius m ** 2.0)) g.dw;
+  Array.iter (fun v -> acc := !acc +. Linalg.Vec.dot v v) g.db;
+  sqrt !acc
+
+let gradient ?hint net ~loss ~x ~target =
+  let n = Nn.Network.num_layers net in
+  let trace = Nn.Network.forward_trace net x in
+  let output = trace.Nn.Network.post.(n - 1) in
+  let value, dout = Loss.value_and_grad loss ~prediction:output ~target in
+  let value, dout =
+    match hint with
+    | None -> (value, dout)
+    | Some h ->
+        let pv, pg = Hint.penalty_and_grad h ~input:x ~prediction:output in
+        (value +. pv, Linalg.Vec.add dout pg)
+  in
+  let dw = Array.make n (Linalg.Mat.zeros 0 0) in
+  let db = Array.make n [||] in
+  (* delta starts as dL/d(post) of the output layer and is converted to
+     dL/d(pre) layer by layer while walking backwards. *)
+  let delta = ref dout in
+  for i = n - 1 downto 0 do
+    let l = Nn.Network.layer net i in
+    let act_grad =
+      Nn.Activation.derivative_vec l.Nn.Layer.activation trace.Nn.Network.pre.(i)
+    in
+    let dpre = Linalg.Vec.mul !delta act_grad in
+    let input = if i = 0 then x else trace.Nn.Network.post.(i - 1) in
+    dw.(i) <- Linalg.Mat.outer dpre input;
+    db.(i) <- dpre;
+    if i > 0 then delta := Linalg.Mat.mul_vec_transpose l.Nn.Layer.weights dpre
+  done;
+  (value, { dw; db })
+
+let numeric_gradient net ~loss ~x ~target ~layer ~row ~col ~eps =
+  let l = Nn.Network.layer net layer in
+  let read, write =
+    if col >= 0 then
+      ( (fun () -> Linalg.Mat.get l.Nn.Layer.weights row col),
+        fun v -> Linalg.Mat.set l.Nn.Layer.weights row col v )
+    else
+      ( (fun () -> Linalg.Vec.get l.Nn.Layer.bias row),
+        fun v -> Linalg.Vec.set l.Nn.Layer.bias row v )
+  in
+  let original = read () in
+  let eval v =
+    write v;
+    let out = Nn.Network.forward net x in
+    Loss.value loss ~prediction:out ~target
+  in
+  let up = eval (original +. eps) in
+  let down = eval (original -. eps) in
+  write original;
+  (up -. down) /. (2.0 *. eps)

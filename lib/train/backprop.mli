@@ -1,0 +1,38 @@
+(** Reverse-mode gradients for fully-connected networks. *)
+
+type grads = {
+  dw : Linalg.Mat.t array;  (** per layer, same shape as the weights *)
+  db : Linalg.Vec.t array;
+}
+
+val zero_like : Nn.Network.t -> grads
+val accumulate : grads -> grads -> unit
+(** [accumulate acc g] adds [g] into [acc]. *)
+
+val scale_in_place : grads -> float -> unit
+val global_norm : grads -> float
+(** L2 norm over all gradient entries (for clipping). *)
+
+val gradient :
+  ?hint:Hint.t ->
+  Nn.Network.t ->
+  loss:Loss.t ->
+  x:Linalg.Vec.t ->
+  target:Linalg.Vec.t ->
+  float * grads
+(** Loss value and parameter gradients for one sample. When [hint] is
+    given, its penalty (and gradient) is added to the loss — the
+    Sec. IV(iii) "training under known properties" mechanism. *)
+
+val numeric_gradient :
+  Nn.Network.t ->
+  loss:Loss.t ->
+  x:Linalg.Vec.t ->
+  target:Linalg.Vec.t ->
+  layer:int ->
+  row:int ->
+  col:int ->
+  eps:float ->
+  float
+(** Central finite difference of the loss w.r.t. one weight — the test
+    oracle for {!gradient}. [col = -1] addresses the bias entry [row]. *)

@@ -1,0 +1,32 @@
+type t = {
+  weight : float;
+  limit : float;
+  gate_feature : int;
+  outputs : int list;
+}
+
+let left_safety ?(weight = 1.0) ?(limit = 1.0) ~components () =
+  {
+    weight;
+    limit;
+    gate_feature =
+      Highway.Features.orientation_base Highway.Orientation.Left
+      + Highway.Features.presence_offset;
+    outputs = List.init components (fun k -> Nn.Gmm.mu_lat_index ~components k);
+  }
+
+let penalty_and_grad t ~input ~prediction =
+  let grad = Array.make (Array.length prediction) 0.0 in
+  if input.(t.gate_feature) < 0.5 then (0.0, grad)
+  else begin
+    let value = ref 0.0 in
+    List.iter
+      (fun k ->
+        let excess = prediction.(k) -. t.limit in
+        if excess > 0.0 then begin
+          value := !value +. (t.weight *. excess *. excess);
+          grad.(k) <- 2.0 *. t.weight *. excess
+        end)
+      t.outputs;
+    (!value, grad)
+  end

@@ -1,0 +1,33 @@
+(** Safety hints (the paper's Sec. IV(iii)): "another important
+    direction is to consider training under known properties on the
+    target function (known as hints [Abu-Mostafa 1995]), such as safety
+    rules."
+
+    A hint penalises the network during training whenever a gating input
+    feature is set (e.g. "vehicle alongside on the left") and a
+    monitored set of outputs (the GMM lateral means) exceeds a limit:
+
+    penalty = weight * sum_k max(0, out_k - limit)^2   when gated.
+
+    The penalty is differentiable, so it composes with any base loss and
+    flows through ordinary backpropagation. Training with the safety
+    hint shrinks the verified worst case before verification even runs —
+    the `ablation` bench quantifies the effect. *)
+
+type t = {
+  weight : float;          (** penalty strength *)
+  limit : float;           (** allowed output value when gated *)
+  gate_feature : int;      (** input feature index; active when >= 0.5 *)
+  outputs : int list;      (** output coordinates to limit *)
+}
+
+val left_safety :
+  ?weight:float -> ?limit:float -> components:int -> unit -> t
+(** The case-study hint: when [left.present] is set, every GMM
+    component's lateral mean should stay below [limit] (default 1.0 m/s,
+    weight 1.0). *)
+
+val penalty_and_grad :
+  t -> input:Linalg.Vec.t -> prediction:Linalg.Vec.t -> float * Linalg.Vec.t
+(** Penalty value and its gradient with respect to the prediction
+    vector (zero when the gate is off). *)

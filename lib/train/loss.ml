@@ -1,0 +1,21 @@
+type t = Mse | Mdn of { components : int }
+
+let value_and_grad t ~prediction ~target =
+  match t with
+  | Mse ->
+      if Array.length prediction <> Array.length target then
+        invalid_arg "Loss.value_and_grad: MSE dimension mismatch";
+      let n = float_of_int (Array.length prediction) in
+      let diff = Linalg.Vec.sub prediction target in
+      let value = Linalg.Vec.dot diff diff /. n in
+      (value, Linalg.Vec.scale (2.0 /. n) diff)
+  | Mdn { components } ->
+      if Array.length target <> 2 then
+        invalid_arg "Loss.value_and_grad: MDN target must be (lat, lon)";
+      Nn.Gmm.nll_and_grad ~components prediction ~lat:target.(0) ~lon:target.(1)
+
+let value t ~prediction ~target = fst (value_and_grad t ~prediction ~target)
+
+let name = function
+  | Mse -> "mse"
+  | Mdn { components } -> Printf.sprintf "mdn-%d" components

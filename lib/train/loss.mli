@@ -1,0 +1,17 @@
+(** Training losses.
+
+    [Mse] matches raw outputs against a target vector of the same
+    dimension. [Mdn] interprets the output vector as a {!Nn.Gmm} head and
+    the target as an observed 2-D action [(lat, lon)], and computes the
+    mixture negative log-likelihood. *)
+
+type t =
+  | Mse
+  | Mdn of { components : int }
+
+val value_and_grad : t -> prediction:Linalg.Vec.t -> target:Linalg.Vec.t -> float * Linalg.Vec.t
+(** Loss value and gradient with respect to the prediction vector.
+    For [Mdn], [target] must have dimension 2. *)
+
+val value : t -> prediction:Linalg.Vec.t -> target:Linalg.Vec.t -> float
+val name : t -> string

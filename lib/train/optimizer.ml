@@ -1,0 +1,70 @@
+type t =
+  | Sgd of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+let sgd ?(momentum = 0.9) lr = Sgd { lr; momentum }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) lr =
+  Adam { lr; beta1; beta2; eps }
+
+type state = {
+  m : Backprop.grads;       (* momentum / first moment *)
+  v : Backprop.grads;       (* second moment (Adam only) *)
+  mutable step_count : int;
+}
+
+let init _ net =
+  { m = Backprop.zero_like net; v = Backprop.zero_like net; step_count = 0 }
+
+let update_layer_weights net i f =
+  let l = Nn.Network.layer net i in
+  let w = l.Nn.Layer.weights and b = l.Nn.Layer.bias in
+  for r = 0 to Linalg.Mat.rows w - 1 do
+    for c = 0 to Linalg.Mat.cols w - 1 do
+      Linalg.Mat.set w r c (f `Weight i r c (Linalg.Mat.get w r c))
+    done;
+    Linalg.Vec.set b r (f `Bias i r (-1) (Linalg.Vec.get b r))
+  done
+
+let step t state net (grads : Backprop.grads) =
+  state.step_count <- state.step_count + 1;
+  let read (g : Backprop.grads) kind i r c =
+    match kind with
+    | `Weight -> Linalg.Mat.get g.dw.(i) r c
+    | `Bias -> Linalg.Vec.get g.db.(i) r
+  in
+  let write (g : Backprop.grads) kind i r c value =
+    match kind with
+    | `Weight -> Linalg.Mat.set g.dw.(i) r c value
+    | `Bias -> Linalg.Vec.set g.db.(i) r value
+  in
+  match t with
+  | Sgd { lr; momentum } ->
+      let f kind i r c current =
+        let g = read grads kind i r c in
+        let vel = (momentum *. read state.m kind i r c) -. (lr *. g) in
+        write state.m kind i r c vel;
+        current +. vel
+      in
+      for i = 0 to Nn.Network.num_layers net - 1 do
+        update_layer_weights net i f
+      done
+  | Adam { lr; beta1; beta2; eps } ->
+      let tstep = float_of_int state.step_count in
+      let bc1 = 1.0 -. (beta1 ** tstep) and bc2 = 1.0 -. (beta2 ** tstep) in
+      let f kind i r c current =
+        let g = read grads kind i r c in
+        let m' = (beta1 *. read state.m kind i r c) +. ((1.0 -. beta1) *. g) in
+        let v' = (beta2 *. read state.v kind i r c) +. ((1.0 -. beta2) *. g *. g) in
+        write state.m kind i r c m';
+        write state.v kind i r c v';
+        let mhat = m' /. bc1 and vhat = v' /. bc2 in
+        current -. (lr *. mhat /. (sqrt vhat +. eps))
+      in
+      for i = 0 to Nn.Network.num_layers net - 1 do
+        update_layer_weights net i f
+      done
+
+let name = function
+  | Sgd { lr; momentum } -> Printf.sprintf "sgd(lr=%g, momentum=%g)" lr momentum
+  | Adam { lr; _ } -> Printf.sprintf "adam(lr=%g)" lr

@@ -1,0 +1,17 @@
+(** First-order optimisers. The step mutates the network in place. *)
+
+type t =
+  | Sgd of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+val sgd : ?momentum:float -> float -> t
+(** [sgd lr] (momentum defaults to 0.9). *)
+
+val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> float -> t
+(** [adam lr] with the usual defaults (0.9, 0.999, 1e-8). *)
+
+type state
+
+val init : t -> Nn.Network.t -> state
+val step : t -> state -> Nn.Network.t -> Backprop.grads -> unit
+val name : t -> string

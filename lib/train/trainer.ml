@@ -1,0 +1,120 @@
+type config = {
+  epochs : int;
+  batch_size : int;
+  optimizer : Optimizer.t;
+  loss : Loss.t;
+  clip_norm : float option;
+  seed : int;
+  early_stopping_patience : int option;
+  log_every : int option;
+  hint : Hint.t option;
+}
+
+let default ?(loss = Loss.Mse) () =
+  {
+    epochs = 100;
+    batch_size = 32;
+    optimizer = Optimizer.adam 1e-3;
+    loss;
+    clip_norm = Some 5.0;
+    seed = 7;
+    early_stopping_patience = None;
+    log_every = None;
+    hint = None;
+  }
+
+type history = {
+  train_loss : float array;
+  val_loss : float array;
+  epochs_run : int;
+}
+
+let mean_loss loss net samples =
+  if Array.length samples = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun (x, target) ->
+        let prediction = Nn.Network.forward net x in
+        total := !total +. Loss.value loss ~prediction ~target)
+      samples;
+    !total /. float_of_int (Array.length samples)
+  end
+
+let src = Logs.Src.create "depnn.train" ~doc:"training loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let fit config net samples ?(validation = [||]) () =
+  if Array.length samples = 0 then invalid_arg "Trainer.fit: empty training set";
+  if config.batch_size <= 0 then invalid_arg "Trainer.fit: batch_size <= 0";
+  let rng = Linalg.Rng.create config.seed in
+  let state = Optimizer.init config.optimizer net in
+  let order = Array.init (Array.length samples) (fun i -> i) in
+  let train_losses = ref [] and val_losses = ref [] in
+  let best_val = ref infinity and since_best = ref 0 in
+  let epochs_run = ref 0 in
+  (try
+     for epoch = 1 to config.epochs do
+       Linalg.Rng.shuffle_in_place rng order;
+       let epoch_total = ref 0.0 in
+       let i = ref 0 in
+       let n = Array.length samples in
+       while !i < n do
+         let batch_end = min n (!i + config.batch_size) in
+         let acc = Backprop.zero_like net in
+         for k = !i to batch_end - 1 do
+           let x, target = samples.(order.(k)) in
+           let value, g =
+             Backprop.gradient ?hint:config.hint net ~loss:config.loss ~x
+               ~target
+           in
+           epoch_total := !epoch_total +. value;
+           Backprop.accumulate acc g
+         done;
+         let batch_n = float_of_int (batch_end - !i) in
+         Backprop.scale_in_place acc (1.0 /. batch_n);
+         (match config.clip_norm with
+          | Some limit ->
+              let norm = Backprop.global_norm acc in
+              if norm > limit then Backprop.scale_in_place acc (limit /. norm)
+          | None -> ());
+         Optimizer.step config.optimizer state net acc;
+         i := batch_end
+       done;
+       let train = !epoch_total /. float_of_int n in
+       train_losses := train :: !train_losses;
+       epochs_run := epoch;
+       let validation_loss =
+         if Array.length validation = 0 then None
+         else Some (mean_loss config.loss net validation)
+       in
+       (match validation_loss with
+        | Some v -> val_losses := v :: !val_losses
+        | None -> ());
+       (match config.log_every with
+        | Some every when epoch mod every = 0 ->
+            Log.info (fun m ->
+                m "epoch %d/%d train=%.5f%s" epoch config.epochs train
+                  (match validation_loss with
+                   | Some v -> Printf.sprintf " val=%.5f" v
+                   | None -> ""))
+        | Some _ | None -> ());
+       match (config.early_stopping_patience, validation_loss) with
+       | Some patience, Some v ->
+           if v < !best_val -. 1e-9 then begin
+             best_val := v;
+             since_best := 0
+           end
+           else begin
+             incr since_best;
+             if !since_best >= patience then raise Exit
+           end
+       | (Some _ | None), (Some _ | None) -> ()
+     done
+   with Exit -> ());
+  {
+    train_loss = Array.of_list (List.rev !train_losses);
+    val_loss = Array.of_list (List.rev !val_losses);
+    epochs_run = !epochs_run;
+  }

@@ -1,0 +1,35 @@
+(** Minibatch training loop. *)
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  optimizer : Optimizer.t;
+  loss : Loss.t;
+  clip_norm : float option;  (** global-norm gradient clipping *)
+  seed : int;                (** minibatch shuffling *)
+  early_stopping_patience : int option;
+      (** stop when validation loss has not improved for this many epochs *)
+  log_every : int option;    (** print progress every n epochs via [Logs] *)
+  hint : Hint.t option;
+      (** optional safety hint added to every sample's loss (Sec. IV(iii)) *)
+}
+
+val default : ?loss:Loss.t -> unit -> config
+(** Adam(1e-3), 100 epochs, batch 32, clip 5.0, seed 7, no early stop. *)
+
+type history = {
+  train_loss : float array;  (** mean per-sample loss, one entry per epoch *)
+  val_loss : float array;    (** empty when no validation set was given *)
+  epochs_run : int;
+}
+
+val fit :
+  config ->
+  Nn.Network.t ->
+  (Linalg.Vec.t * Linalg.Vec.t) array ->
+  ?validation:(Linalg.Vec.t * Linalg.Vec.t) array ->
+  unit ->
+  history
+(** Trains the network in place on [(input, target)] samples. *)
+
+val mean_loss : Loss.t -> Nn.Network.t -> (Linalg.Vec.t * Linalg.Vec.t) array -> float

@@ -1,0 +1,173 @@
+type witness = {
+  input : Linalg.Vec.t;
+  outputs : Linalg.Vec.t;
+  achieved : float;
+  component : int;
+}
+
+type max_result = {
+  value : float option;
+  upper_bound : float;
+  optimal : bool;
+  timed_out : bool;
+  witness : witness option;
+  elapsed : float;
+  nodes : int;
+  lp_iterations : int;
+  unstable_neurons : int;
+}
+
+let witness_of_solution enc net ~component ~output_index solution =
+  let input = Encoding.Encoder.input_point enc solution in
+  let outputs = Nn.Network.forward net input in
+  { input; outputs; achieved = outputs.(output_index); component }
+
+(* Maximise a set of output coordinates one by one over the same
+   encoding; the overall maximum is the max of the per-coordinate
+   results. *)
+let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interval_bounds)
+    ?(tighten_rounds = 1) ?(depth_first = false) ~outputs:output_indices net box =
+  let enc =
+    Encoding.Encoder.encode ~bound_mode ~tighten_rounds
+      ~tighten_budget:(0.5 *. time_limit) net box
+  in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  let n_queries = List.length output_indices in
+  let per_query_limit = time_limit /. float_of_int n_queries in
+  let best_value = ref None and best_witness = ref None in
+  let upper = ref neg_infinity in
+  let any_timeout = ref false and all_optimal = ref true in
+  let nodes = ref 0 and lp_iters = ref 0 and elapsed = ref 0.0 in
+  List.iteri
+    (fun qi k ->
+      Encoding.Encoder.set_output_objective enc k;
+      (* Any relaxation point projects to a feasible incumbent: forward-
+         run the network on its input block. *)
+      let primal_heuristic relaxation =
+        let input = Encoding.Encoder.input_point enc relaxation in
+        let point = Encoding.Encoder.assignment_of_input enc net input in
+        Some (point, point.(enc.Encoding.Encoder.output_vars.(k)))
+      in
+      let r =
+        Milp.Solver.solve ~time_limit:per_query_limit
+          ~branch_rule:(Milp.Solver.Priority priority) ~depth_first
+          ~primal_heuristic enc.Encoding.Encoder.model
+      in
+      nodes := !nodes + r.Milp.Solver.nodes;
+      lp_iters := !lp_iters + r.Milp.Solver.lp_iterations;
+      elapsed := !elapsed +. r.Milp.Solver.elapsed;
+      (match r.Milp.Solver.outcome with
+       | Milp.Solver.Optimal -> ()
+       | Milp.Solver.Time_limit | Milp.Solver.Node_limit ->
+           any_timeout := true;
+           all_optimal := false
+       | Milp.Solver.Infeasible ->
+           (* An empty box cannot happen for well-formed scenarios; treat
+              as an unfinished query. *)
+           all_optimal := false);
+      upper := Float.max !upper r.Milp.Solver.best_bound;
+      match r.Milp.Solver.incumbent with
+      | Some (solution, objective) ->
+          let better =
+            match !best_value with None -> true | Some v -> objective > v
+          in
+          if better then begin
+            best_value := Some objective;
+            best_witness :=
+              Some (witness_of_solution enc net ~component:qi ~output_index:k solution)
+          end
+      | None -> ())
+    output_indices;
+  {
+    value = !best_value;
+    upper_bound = !upper;
+    optimal = !all_optimal && !best_value <> None;
+    timed_out = !any_timeout;
+    witness = !best_witness;
+    elapsed = !elapsed;
+    nodes = !nodes;
+    lp_iterations = !lp_iters;
+    unstable_neurons = enc.Encoding.Encoder.stats.Encoding.Encoder.unstable;
+  }
+
+let max_lateral_velocity ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+    ~components net box =
+  let outputs =
+    List.init components (fun k -> Nn.Gmm.mu_lat_index ~components k)
+  in
+  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+    ~outputs net box
+
+let maximize_output ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+    ~output net box =
+  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+    ~outputs:[ output ] net box
+
+type proof = Proved | Disproved of witness | Unknown of { best_bound : float }
+
+type proof_result = { proof : proof; proof_elapsed : float; proof_nodes : int }
+
+let prove_lateral_velocity_le ?(time_limit = 60.0)
+    ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
+    ~components ~threshold net box =
+  let enc =
+    Encoding.Encoder.encode ~bound_mode ~tighten_rounds
+      ~tighten_budget:(0.5 *. time_limit) net box
+  in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  let per_query_limit = time_limit /. float_of_int components in
+  let elapsed = ref 0.0 and nodes = ref 0 in
+  let rec prove k worst_bound =
+    if k >= components then
+      if worst_bound <= threshold then Some Proved
+      else Some (Unknown { best_bound = worst_bound })
+    else begin
+      let output = Nn.Gmm.mu_lat_index ~components k in
+      Encoding.Encoder.set_output_objective enc output;
+      let r =
+        Milp.Solver.solve ~time_limit:per_query_limit ~cutoff:threshold
+          ~branch_rule:(Milp.Solver.Priority priority) enc.Encoding.Encoder.model
+      in
+      elapsed := !elapsed +. r.Milp.Solver.elapsed;
+      nodes := !nodes + r.Milp.Solver.nodes;
+      match r.Milp.Solver.incumbent with
+      | Some (solution, _) ->
+          (* A feasible point above the cutoff refutes the property. *)
+          Some
+            (Disproved
+               (witness_of_solution enc net ~component:k ~output_index:output
+                  solution))
+      | None -> (
+          match r.Milp.Solver.outcome with
+          | Milp.Solver.Optimal ->
+              prove (k + 1) (Float.max worst_bound threshold)
+          | Milp.Solver.Time_limit | Milp.Solver.Node_limit | Milp.Solver.Infeasible
+            ->
+              prove (k + 1) (Float.max worst_bound r.Milp.Solver.best_bound))
+    end
+  in
+  let proof =
+    match prove 0 neg_infinity with
+    | Some p -> p
+    | None -> Unknown { best_bound = infinity }
+  in
+  { proof; proof_elapsed = !elapsed; proof_nodes = !nodes }
+
+let sampled_max_lateral_velocity ~rng ~samples ~components net box =
+  if samples <= 0 then invalid_arg "Driver.sampled_max_lateral_velocity";
+  let best = ref neg_infinity and best_input = ref [||] in
+  for _ = 1 to samples do
+    let x = Interval.Box.sample box rng in
+    let out = Nn.Network.forward net x in
+    let v =
+      List.fold_left
+        (fun acc k -> Float.max acc out.(Nn.Gmm.mu_lat_index ~components k))
+        neg_infinity
+        (List.init components Fun.id)
+    in
+    if v > !best then begin
+      best := v;
+      best_input := x
+    end
+  done;
+  (!best, !best_input)

@@ -1,0 +1,86 @@
+(** Verification drivers: run MILP queries against a network and return
+    auditable verdicts.
+
+    [max_lateral_velocity] reproduces the paper's Table II measurement
+    ("maximum lateral velocity when there exists a vehicle in the
+    left"): one exact maximisation per GMM component lateral mean, the
+    overall result being the maximum. [prove_lateral_velocity_le]
+    reproduces the decision query of the table's last row ("prove that
+    the lateral velocity can never be larger than 3 m/s"), which uses
+    the solver cutoff and is typically much cheaper than the exact
+    maximum. *)
+
+type witness = {
+  input : Linalg.Vec.t;       (** feature point inside the scenario box *)
+  outputs : Linalg.Vec.t;     (** network outputs at that point *)
+  achieved : float;           (** objective value as recomputed by forward run *)
+  component : int;            (** GMM component that attains it *)
+}
+
+type max_result = {
+  value : float option;   (** best maximum found (None: no solve finished) *)
+  upper_bound : float;     (** proven sound upper bound *)
+  optimal : bool;          (** value = exact maximum *)
+  timed_out : bool;
+  witness : witness option;
+  elapsed : float;
+  nodes : int;
+  lp_iterations : int;
+  unstable_neurons : int;  (** binaries in the encoding *)
+}
+
+val max_lateral_velocity :
+  ?time_limit:float ->
+  ?bound_mode:Encoding.Encoder.bound_mode ->
+  ?tighten_rounds:int ->
+  ?depth_first:bool ->
+  components:int ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  max_result
+(** [time_limit] (default 60 s) is shared across the per-component
+    solves. [tighten_rounds] (default 1) rounds of OBBT are applied
+    before searching (see {!Encoding.Encoder.encode}). *)
+
+val maximize_output :
+  ?time_limit:float ->
+  ?bound_mode:Encoding.Encoder.bound_mode ->
+  ?tighten_rounds:int ->
+  ?depth_first:bool ->
+  output:int ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  max_result
+(** Exact maximisation of a single raw output coordinate. *)
+
+type proof =
+  | Proved
+  | Disproved of witness
+  | Unknown of { best_bound : float }
+
+type proof_result = {
+  proof : proof;
+  proof_elapsed : float;
+  proof_nodes : int;
+}
+
+val prove_lateral_velocity_le :
+  ?time_limit:float ->
+  ?bound_mode:Encoding.Encoder.bound_mode ->
+  ?tighten_rounds:int ->
+  components:int ->
+  threshold:float ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  proof_result
+
+val sampled_max_lateral_velocity :
+  rng:Linalg.Rng.t ->
+  samples:int ->
+  components:int ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  float * Linalg.Vec.t
+(** Monte-Carlo lower bound on the true maximum (testing oracle: must
+    never exceed the verifier's [upper_bound]). Returns the best value
+    and the input achieving it. *)

@@ -1,0 +1,28 @@
+type query =
+  | Maximize_output of int
+  | Output_le of { output : int; threshold : float }
+  | Max_lateral_velocity of { components : int }
+  | Lateral_velocity_le of { components : int; threshold : float }
+
+type t = { name : string; box : Interval.Box.box; query : query }
+
+let make ~name ~box query = { name; box; query }
+
+let output_indices ~components = function
+  | Maximize_output k | Output_le { output = k; _ } -> [ k ]
+  | Max_lateral_velocity { components = c } | Lateral_velocity_le { components = c; _ }
+    ->
+      ignore components;
+      List.init c (fun k -> Nn.Gmm.mu_lat_index ~components:c k)
+
+let pp_query fmt = function
+  | Maximize_output k -> Format.fprintf fmt "maximize output[%d]" k
+  | Output_le { output; threshold } ->
+      Format.fprintf fmt "output[%d] <= %g" output threshold
+  | Max_lateral_velocity { components } ->
+      Format.fprintf fmt "max lateral velocity (over %d GMM components)"
+        components
+  | Lateral_velocity_le { components; threshold } ->
+      Format.fprintf fmt
+        "lateral velocity <= %g m/s (over %d GMM components)" threshold
+        components

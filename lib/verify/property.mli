@@ -1,0 +1,30 @@
+(** Safety properties over a network restricted to an input region.
+
+    A property couples an input box (the operational scenario, e.g.
+    "there is a vehicle alongside on the left") with a query on the
+    network outputs. This is the fragment of the paper's "classical
+    specification ... such as obeying traffic rules or ensuring road
+    safety" that the MILP verifier can decide. *)
+
+type query =
+  | Maximize_output of int
+      (** compute the exact maximum of one output coordinate *)
+  | Output_le of { output : int; threshold : float }
+      (** decide: output <= threshold everywhere on the box? *)
+  | Max_lateral_velocity of { components : int }
+      (** Table II column: maximum over GMM component lateral means *)
+  | Lateral_velocity_le of { components : int; threshold : float }
+      (** the paper's 3 m/s decision query over all GMM components *)
+
+type t = {
+  name : string;
+  box : Interval.Box.box;
+  query : query;
+}
+
+val make : name:string -> box:Interval.Box.box -> query -> t
+
+val output_indices : components:int -> query -> int list
+(** The raw output coordinates the query touches. *)
+
+val pp_query : Format.formatter -> query -> unit

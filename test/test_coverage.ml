@@ -1,0 +1,129 @@
+let relu_net seed dims =
+  let rng = Linalg.Rng.create seed in
+  Nn.Network.create ~rng dims
+
+let tanh_net seed dims =
+  let rng = Linalg.Rng.create seed in
+  Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Tanh dims
+
+(* {1 Static analysis: the paper's Sec. II argument} *)
+
+let test_relu_counts () =
+  let net = relu_net 1 [ 5; 10; 10; 3 ] in
+  let a = Coverage.Mcdc.analyze net in
+  Alcotest.(check int) "one decision per relu neuron" 20 a.Coverage.Mcdc.decisions;
+  Alcotest.(check int) "two obligations each" 40 a.Coverage.Mcdc.obligations;
+  Alcotest.(check (float 0.0)) "branch space 2^20" 20.0
+    a.Coverage.Mcdc.branch_combinations_log2
+
+let test_tanh_trivial () =
+  let net = tanh_net 2 [ 5; 10; 10; 3 ] in
+  let a = Coverage.Mcdc.analyze net in
+  Alcotest.(check int) "no decisions" 0 a.Coverage.Mcdc.decisions;
+  Alcotest.(check int) "one test case suffices" 1 a.Coverage.Mcdc.min_test_cases
+
+let test_i4xn_exponential_growth () =
+  (* The paper's point: obligations grow linearly, branch combinations
+     exponentially with width. *)
+  let widths = [ 10; 20; 40 ] in
+  let analyses =
+    List.map
+      (fun w ->
+        let rng = Linalg.Rng.create w in
+        Coverage.Mcdc.analyze (Nn.Network.i4xn ~rng w))
+      widths
+  in
+  List.iter2
+    (fun w a ->
+      Alcotest.(check int) "decisions = 4w" (4 * w) a.Coverage.Mcdc.decisions)
+    widths analyses;
+  match analyses with
+  | [ a10; _; a40 ] ->
+      Alcotest.(check (float 0.0)) "log2 gap" 120.0
+        (a40.Coverage.Mcdc.branch_combinations_log2
+         -. a10.Coverage.Mcdc.branch_combinations_log2)
+  | _ -> Alcotest.fail "unexpected"
+
+(* {1 Measured coverage} *)
+
+let test_tanh_full_coverage_single_test () =
+  let net = tanh_net 3 [ 4; 6; 2 ] in
+  let m = Coverage.Mcdc.measure net [| Array.make 4 0.1 |] in
+  Alcotest.(check (float 0.0)) "100% from one test" 100.0 m.Coverage.Mcdc.mcdc_percent;
+  Alcotest.(check int) "one test" 1 m.Coverage.Mcdc.tests
+
+let test_crafted_full_branch_coverage () =
+  (* One neuron: z = x. Tests x=1 and x=-1 cover both outcomes. *)
+  let l0 =
+    Nn.Layer.make (Linalg.Mat.of_rows [| [| 1.0 |] |]) [| 0.0 |] Nn.Activation.Relu
+  in
+  let l1 =
+    Nn.Layer.make (Linalg.Mat.of_rows [| [| 1.0 |] |]) [| 0.0 |]
+      Nn.Activation.Identity
+  in
+  let net = Nn.Network.make [| l0; l1 |] in
+  let m = Coverage.Mcdc.measure net [| [| 1.0 |]; [| -1.0 |] |] in
+  Alcotest.(check (float 0.0)) "full" 100.0 m.Coverage.Mcdc.mcdc_percent;
+  Alcotest.(check int) "two patterns" 2 m.Coverage.Mcdc.distinct_patterns;
+  let half = Coverage.Mcdc.measure net [| [| 1.0 |] |] in
+  Alcotest.(check (float 0.0)) "half covered" 50.0 half.Coverage.Mcdc.mcdc_percent
+
+let test_patterns_bounded_by_tests () =
+  let net = relu_net 4 [ 4; 8; 8; 2 ] in
+  let rng = Linalg.Rng.create 5 in
+  let inputs =
+    Array.init 50 (fun _ -> Array.init 4 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+  in
+  let m = Coverage.Mcdc.measure net inputs in
+  Alcotest.(check bool) "patterns <= tests" true
+    (m.Coverage.Mcdc.distinct_patterns <= m.Coverage.Mcdc.tests);
+  Alcotest.(check bool) "at least one pattern" true
+    (m.Coverage.Mcdc.distinct_patterns >= 1);
+  Alcotest.(check bool) "partial coverage" true
+    (m.Coverage.Mcdc.covered_obligations <= m.Coverage.Mcdc.total_obligations)
+
+let test_coverage_monotone_in_tests () =
+  let net = relu_net 6 [ 4; 10; 10; 2 ] in
+  let rng = Linalg.Rng.create 7 in
+  let inputs n =
+    Array.init n (fun _ -> Array.init 4 (fun _ -> Linalg.Rng.uniform rng (-1.5) 1.5))
+  in
+  let small = Coverage.Mcdc.measure net (inputs 5) in
+  let large = Coverage.Mcdc.measure net (inputs 500) in
+  Alcotest.(check bool) "more tests, at least as much coverage" true
+    (large.Coverage.Mcdc.mcdc_percent >= small.Coverage.Mcdc.mcdc_percent -. 1e-9)
+
+let test_measure_empty_rejected () =
+  let net = relu_net 8 [ 2; 3; 1 ] in
+  Alcotest.check_raises "empty" (Invalid_argument "Mcdc.measure: empty test suite")
+    (fun () -> ignore (Coverage.Mcdc.measure net [||]))
+
+let test_render () =
+  let net = relu_net 9 [ 3; 5; 2 ] in
+  let a = Coverage.Mcdc.analyze net in
+  let m = Coverage.Mcdc.measure net [| [| 0.1; 0.2; 0.3 |] |] in
+  let s = Coverage.Mcdc.render a (Some m) in
+  Alcotest.(check bool) "mentions decisions" true (String.length s > 30);
+  let s2 = Coverage.Mcdc.render a None in
+  Alcotest.(check bool) "works without measurement" true (String.length s2 > 10)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "coverage"
+    [
+      ( "analysis",
+        [
+          quick "relu counts" test_relu_counts;
+          quick "tanh trivial" test_tanh_trivial;
+          quick "exponential growth" test_i4xn_exponential_growth;
+        ] );
+      ( "measurement",
+        [
+          quick "tanh full coverage" test_tanh_full_coverage_single_test;
+          quick "crafted branches" test_crafted_full_branch_coverage;
+          quick "patterns bounded" test_patterns_bounded_by_tests;
+          quick "monotone" test_coverage_monotone_in_tests;
+          quick "empty rejected" test_measure_empty_rejected;
+          quick "render" test_render;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+let sample_dataset n =
+  let rng = Linalg.Rng.create 1 in
+  let inputs = Array.init n (fun _ -> Array.init 4 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0)) in
+  let targets = Array.init n (fun i -> [| float_of_int i; 0.0 |]) in
+  Dataset.make inputs targets
+
+let test_make_validation () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (Dataset.make [| [| 1.0 |] |] [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ragged inputs" true
+    (try
+       ignore (Dataset.make [| [| 1.0 |]; [| 1.0; 2.0 |] |] [| [| 0.0 |]; [| 0.0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dims () =
+  let d = sample_dataset 10 in
+  Alcotest.(check int) "size" 10 (Dataset.size d);
+  Alcotest.(check int) "input dim" 4 (Dataset.input_dim d);
+  Alcotest.(check int) "target dim" 2 (Dataset.target_dim d);
+  Alcotest.(check int) "pairs" 10 (Array.length (Dataset.pairs d))
+
+let test_split_partition () =
+  let d = sample_dataset 100 in
+  let rng = Linalg.Rng.create 2 in
+  let a, b = Dataset.split ~rng ~ratio:0.7 d in
+  Alcotest.(check int) "left size" 70 (Dataset.size a);
+  Alcotest.(check int) "right size" 30 (Dataset.size b);
+  (* Each original target appears exactly once across the split. *)
+  let seen = Hashtbl.create 100 in
+  let record ds =
+    Array.iter (fun target -> Hashtbl.replace seen target.(0) ()) ds.Dataset.targets
+  in
+  record a;
+  record b;
+  Alcotest.(check int) "partition" 100 (Hashtbl.length seen)
+
+let test_split_bad_ratio () =
+  let d = sample_dataset 5 in
+  Alcotest.check_raises "ratio" (Invalid_argument "Dataset.split: bad ratio")
+    (fun () -> ignore (Dataset.split ~rng:(Linalg.Rng.create 1) ~ratio:1.5 d))
+
+let test_concat_filteri () =
+  let a = sample_dataset 4 and b = sample_dataset 6 in
+  let c = Dataset.concat a b in
+  Alcotest.(check int) "concat size" 10 (Dataset.size c);
+  let evens = Dataset.filteri (fun i -> i mod 2 = 0) c in
+  Alcotest.(check int) "filtered" 5 (Dataset.size evens)
+
+let test_of_samples () =
+  let rng = Linalg.Rng.create 3 in
+  let samples = Highway.Recorder.record ~rng ~n_samples:20 () in
+  let d = Dataset.of_samples samples in
+  Alcotest.(check int) "size" 20 (Dataset.size d);
+  Alcotest.(check int) "input dim" 84 (Dataset.input_dim d);
+  Alcotest.(check int) "target dim" 2 (Dataset.target_dim d);
+  Alcotest.(check (float 0.0)) "target is lat"
+    samples.(0).Highway.Recorder.lat_velocity
+    d.Dataset.targets.(0).(0)
+
+let test_target_stats () =
+  let d = Dataset.make [| [| 0.0 |]; [| 0.0 |] |] [| [| 2.0 |]; [| 4.0 |] |] in
+  let mean, std = Dataset.target_stats d ~dim:0 in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 mean;
+  Alcotest.(check (float 1e-9)) "std" 1.0 std
+
+(* {1 Sanitizer} *)
+
+(* In-domain feature vectors built from a real scene encoding (the
+   in-sensor-domain rule must not fire on these). *)
+let scene_features ~left_occupied =
+  let road = Highway.Road.make ~length:1000.0 () in
+  let ego = Highway.Vehicle.make ~id:9 ~x:100.0 ~lane:1 ~speed:25.0 () in
+  let others =
+    if left_occupied then
+      [ Highway.Vehicle.make ~id:1 ~x:103.0 ~lane:2 ~speed:24.0 () ]
+    else []
+  in
+  Highway.Features.encode (Highway.Scene.make road ~ego ~others)
+
+let risky_sample () = (scene_features ~left_occupied:true, [| 2.5; 0.0 |])
+let safe_sample () = (scene_features ~left_occupied:false, [| 0.5; 0.2 |])
+
+let test_sanitizer_rejects_risky () =
+  let rf, rt = risky_sample () and sf, st = safe_sample () in
+  let d = Dataset.make [| rf; sf |] [| rt; st |] in
+  let clean, report = Sanitizer.sanitize d in
+  Alcotest.(check int) "accepted" 1 (Dataset.size clean);
+  Alcotest.(check int) "report total" 2 report.Sanitizer.total;
+  (match report.Sanitizer.rejections with
+   | [ r ] ->
+       Alcotest.(check int) "rejected index" 0 r.Sanitizer.index;
+       Alcotest.(check string) "rule" "no-risky-left-move" r.Sanitizer.rule_name
+   | _ -> Alcotest.fail "expected exactly one rejection")
+
+let test_sanitizer_accepts_clean () =
+  let sf, st = safe_sample () in
+  let d = Dataset.make [| sf |] [| st |] in
+  let clean, report = Sanitizer.sanitize d in
+  Alcotest.(check int) "accepted" 1 (Dataset.size clean);
+  Alcotest.(check int) "no rejections" 0 (List.length report.Sanitizer.rejections)
+
+let test_sanitizer_extreme_action () =
+  let sf, _ = safe_sample () in
+  let d = Dataset.make [| sf |] [| [| 9.0; 0.0 |] |] in
+  let _, report = Sanitizer.sanitize d in
+  match report.Sanitizer.rejections with
+  | [ r ] -> Alcotest.(check string) "rule" "plausible-action" r.Sanitizer.rule_name
+  | _ -> Alcotest.fail "expected one rejection"
+
+let test_sanitizer_out_of_domain () =
+  let sf, st = safe_sample () in
+  let bad = Array.copy sf in
+  bad.(Highway.Features.ego_speed) <- 5.0;
+  let d = Dataset.make [| bad |] [| st |] in
+  let _, report = Sanitizer.sanitize d in
+  match report.Sanitizer.rejections with
+  | [ r ] ->
+      Alcotest.(check string) "rule" "in-sensor-domain" r.Sanitizer.rule_name;
+      Alcotest.(check bool) "reason names feature" true
+        (String.length r.Sanitizer.reason > 0)
+  | _ -> Alcotest.fail "expected one rejection"
+
+let test_sanitizer_custom_rules () =
+  let sf, st = safe_sample () in
+  let reject_all =
+    {
+      Sanitizer.rule_name = "reject-all";
+      check = (fun ~features:_ ~target:_ -> Some "testing");
+    }
+  in
+  let d = Dataset.make [| sf |] [| st |] in
+  let clean, report = Sanitizer.sanitize ~rules:[ reject_all ] d in
+  Alcotest.(check int) "all rejected" 0 (Dataset.size clean);
+  Alcotest.(check int) "report" 1 (List.length report.Sanitizer.rejections)
+
+let test_sanitizer_matches_ground_truth () =
+  (* Integration: the sanitizer, without peeking at the recorder's flag,
+     must reject every ground-truth-risky sample. *)
+  let rng = Linalg.Rng.create 4 in
+  let samples =
+    Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky 0.5)
+      ~n_samples:1200 ()
+  in
+  let d = Dataset.of_samples samples in
+  let _, report = Sanitizer.sanitize d in
+  let rejected = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace rejected r.Sanitizer.index ())
+    report.Sanitizer.rejections;
+  Array.iteri
+    (fun i s ->
+      if s.Highway.Recorder.ground_truth_risky then
+        Alcotest.(check bool)
+          (Printf.sprintf "risky sample %d rejected" i)
+          true (Hashtbl.mem rejected i))
+    samples
+
+let test_render_report () =
+  let rf, rt = risky_sample () in
+  let d = Dataset.make [| rf |] [| rt |] in
+  let _, report = Sanitizer.sanitize d in
+  let text = Sanitizer.render_report report in
+  Alcotest.(check bool) "mentions totals" true
+    (String.length text > 0
+     && String.index_opt text '1' <> None)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "dataset"
+    [
+      ( "dataset",
+        [
+          quick "validation" test_make_validation;
+          quick "dims" test_dims;
+          quick "split partition" test_split_partition;
+          quick "split ratio" test_split_bad_ratio;
+          quick "concat/filteri" test_concat_filteri;
+          quick "of_samples" test_of_samples;
+          quick "target stats" test_target_stats;
+        ] );
+      ( "sanitizer",
+        [
+          quick "rejects risky" test_sanitizer_rejects_risky;
+          quick "accepts clean" test_sanitizer_accepts_clean;
+          quick "extreme action" test_sanitizer_extreme_action;
+          quick "out of domain" test_sanitizer_out_of_domain;
+          quick "custom rules" test_sanitizer_custom_rules;
+          slow "matches ground truth" test_sanitizer_matches_ground_truth;
+          quick "render report" test_render_report;
+        ] );
+    ]

@@ -1,0 +1,482 @@
+let make_vehicle ?(id = 0) ?(lane = 0) ?(speed = 25.0) ?desired_speed x =
+  Highway.Vehicle.make ~id ~x ~lane ~speed ?desired_speed ()
+
+(* {1 Road} *)
+
+let test_road_wrap () =
+  let road = Highway.Road.make ~length:100.0 () in
+  Alcotest.(check (float 1e-9)) "inside" 40.0 (Highway.Road.wrap road 40.0);
+  Alcotest.(check (float 1e-9)) "positive wrap" 5.0 (Highway.Road.wrap road 105.0);
+  Alcotest.(check (float 1e-9)) "negative wrap" 95.0 (Highway.Road.wrap road (-5.0))
+
+let test_road_delta () =
+  let road = Highway.Road.make ~length:100.0 () in
+  Alcotest.(check (float 1e-9)) "ahead" 10.0 (Highway.Road.delta road 30.0 20.0);
+  Alcotest.(check (float 1e-9)) "behind" (-10.0) (Highway.Road.delta road 20.0 30.0);
+  (* Wrap-around: 95 -> 5 is 10 ahead, not 90 behind. *)
+  Alcotest.(check (float 1e-9)) "wrap ahead" 10.0 (Highway.Road.delta road 5.0 95.0);
+  Alcotest.(check (float 1e-9)) "wrap behind" (-10.0) (Highway.Road.delta road 95.0 5.0)
+
+let prop_road_delta_antisymmetric =
+  QCheck.Test.make ~name:"delta antisymmetric (mod wrap)" ~count:300
+    QCheck.(pair (float_range 0.0 200.0) (float_range 0.0 200.0))
+    (fun (a, b) ->
+      let road = Highway.Road.make ~length:200.0 () in
+      let d1 = Highway.Road.delta road a b and d2 = Highway.Road.delta road b a in
+      (* Antisymmetric except at the antipode where both ends are -L/2. *)
+      Float.abs (d1 +. d2) < 1e-6 || Float.abs (Float.abs d1 -. 100.0) < 1e-6)
+
+let prop_road_delta_range =
+  QCheck.Test.make ~name:"delta within [-L/2, L/2)" ~count:300
+    QCheck.(pair (float_range (-500.0) 500.0) (float_range (-500.0) 500.0))
+    (fun (a, b) ->
+      let road = Highway.Road.make ~length:150.0 () in
+      let d = Highway.Road.delta road a b in
+      d >= -75.0 -. 1e-9 && d < 75.0 +. 1e-9)
+
+let test_road_validation () =
+  Alcotest.(check bool) "zero lanes rejected" true
+    (try
+       ignore (Highway.Road.make ~num_lanes:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Vehicle} *)
+
+let test_vehicle_gap () =
+  let road = Highway.Road.make ~length:1000.0 () in
+  let follower = make_vehicle 0.0 and leader = make_vehicle 20.0 in
+  (* Both 4.5 m long: gap = 20 - 4.5 = 15.5 *)
+  Alcotest.(check (float 1e-9)) "gap" 15.5
+    (Highway.Vehicle.gap road ~follower ~leader)
+
+let test_vehicle_history () =
+  let v = make_vehicle ~speed:20.0 0.0 in
+  let v = { v with Highway.Vehicle.speed = 25.0 } in
+  let v = Highway.Vehicle.push_history v in
+  Alcotest.(check (float 0.0)) "head is current" 25.0 v.Highway.Vehicle.speed_history.(0);
+  Alcotest.(check (float 0.0)) "tail is old" 20.0 v.Highway.Vehicle.speed_history.(1)
+
+let test_vehicle_negative_speed_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:0 ~speed:(-1.0) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 IDM} *)
+
+let test_idm_free_road () =
+  let p = Highway.Idm.default in
+  Alcotest.(check bool) "accelerates below desired" true
+    (Highway.Idm.free_road_accel p ~speed:20.0 ~desired_speed:30.0 > 0.0);
+  Alcotest.(check (float 1e-9)) "zero at desired" 0.0
+    (Highway.Idm.free_road_accel p ~speed:30.0 ~desired_speed:30.0);
+  Alcotest.(check bool) "brakes above desired" true
+    (Highway.Idm.free_road_accel p ~speed:35.0 ~desired_speed:30.0 < 0.0)
+
+let test_idm_equilibrium () =
+  (* At the desired (equilibrium-scaled) gap behind a same-speed leader,
+     the interaction term equals exactly -max_accel, so the net force is
+     the free-road force minus max_accel. *)
+  let p = Highway.Idm.default in
+  let speed = 25.0 and desired_speed = 32.0 in
+  let gap = Highway.Idm.equilibrium_gap p ~speed in
+  let a =
+    Highway.Idm.accel p ~speed ~desired_speed ~gap ~leader_speed:speed
+  in
+  let free = Highway.Idm.free_road_accel p ~speed ~desired_speed in
+  Alcotest.(check (float 1e-9)) "free minus max_accel"
+    (free -. p.Highway.Idm.max_accel) a;
+  (* Twice the equilibrium gap: interaction shrinks to a quarter. *)
+  let a2 =
+    Highway.Idm.accel p ~speed ~desired_speed ~gap:(2.0 *. gap)
+      ~leader_speed:speed
+  in
+  Alcotest.(check (float 1e-9)) "quarter interaction"
+    (free -. (p.Highway.Idm.max_accel /. 4.0)) a2
+
+let test_idm_brakes_when_closing () =
+  let p = Highway.Idm.default in
+  let slow =
+    Highway.Idm.accel p ~speed:30.0 ~desired_speed:30.0 ~gap:10.0
+      ~leader_speed:15.0
+  in
+  Alcotest.(check bool) "hard braking" true (slow < -1.0);
+  Alcotest.(check bool) "clamped" true
+    (slow >= -3.0 *. p.Highway.Idm.comfortable_brake)
+
+let test_idm_monotone_in_gap () =
+  let p = Highway.Idm.default in
+  let accel_at gap =
+    Highway.Idm.accel p ~speed:25.0 ~desired_speed:30.0 ~gap ~leader_speed:25.0
+  in
+  Alcotest.(check bool) "larger gap, weaker braking" true
+    (accel_at 50.0 > accel_at 10.0);
+  Alcotest.(check bool) "tiny gap clamps, no NaN" true
+    (Float.is_finite (accel_at 0.0))
+
+(* {1 Scene and neighbours} *)
+
+let three_lane_scene () =
+  (* Ego in lane 1 at x=100 with traffic placed around it:
+     - leader in lane 1 at 130, follower at 60
+     - left alongside at 103 (lane 2), left-front at 160, left-back at 40
+     - right alongside at 98 (lane 0), right-front at 150 *)
+  let road = Highway.Road.make ~length:1000.0 () in
+  let ego = Highway.Vehicle.make ~id:99 ~x:100.0 ~lane:1 ~speed:25.0 () in
+  let mk id x lane = Highway.Vehicle.make ~id ~x ~lane ~speed:24.0 () in
+  let others =
+    [
+      mk 1 130.0 1; mk 2 60.0 1; mk 3 103.0 2; mk 4 160.0 2; mk 5 40.0 2;
+      mk 6 98.0 0; mk 7 150.0 0;
+    ]
+  in
+  Highway.Scene.make road ~ego ~others
+
+let neighbor_id scene o =
+  match Highway.Scene.neighbor scene o with
+  | Some v -> v.Highway.Vehicle.id
+  | None -> -1
+
+let test_scene_neighbors () =
+  let scene = three_lane_scene () in
+  Alcotest.(check int) "front" 1 (neighbor_id scene Highway.Orientation.Front);
+  Alcotest.(check int) "back" 2 (neighbor_id scene Highway.Orientation.Back);
+  Alcotest.(check int) "left" 3 (neighbor_id scene Highway.Orientation.Left);
+  Alcotest.(check int) "left-front" 4 (neighbor_id scene Highway.Orientation.Left_front);
+  Alcotest.(check int) "left-back" 5 (neighbor_id scene Highway.Orientation.Left_back);
+  Alcotest.(check int) "right" 6 (neighbor_id scene Highway.Orientation.Right);
+  Alcotest.(check int) "right-front" 7 (neighbor_id scene Highway.Orientation.Right_front);
+  Alcotest.(check int) "right-back absent" (-1)
+    (neighbor_id scene Highway.Orientation.Right_back)
+
+let test_scene_off_road_orientations () =
+  let road = Highway.Road.make ~num_lanes:2 ~length:500.0 () in
+  let ego = Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:1 ~speed:20.0 () in
+  let other = Highway.Vehicle.make ~id:1 ~x:3.0 ~lane:0 ~speed:20.0 () in
+  let scene = Highway.Scene.make road ~ego ~others:[ other ] in
+  Alcotest.(check bool) "no left beyond leftmost lane" true
+    (Highway.Scene.neighbor scene Highway.Orientation.Left = None);
+  Alcotest.(check int) "right alongside" 1
+    (neighbor_id scene Highway.Orientation.Right)
+
+let test_scene_has_vehicle_on_left () =
+  let scene = three_lane_scene () in
+  Alcotest.(check bool) "left occupied" true (Highway.Scene.has_vehicle_on_left scene);
+  Alcotest.(check bool) "narrow window empty" false
+    (Highway.Scene.has_vehicle_on_left ~window:1.0 scene)
+
+let test_scene_leader_follower () =
+  let scene = three_lane_scene () in
+  let ego = scene.Highway.Scene.ego in
+  (match Highway.Scene.leader scene ego ~lane:1 with
+   | Some v -> Alcotest.(check int) "leader" 1 v.Highway.Vehicle.id
+   | None -> Alcotest.fail "expected leader");
+  (match Highway.Scene.leader scene ego ~lane:2 with
+   | Some v -> Alcotest.(check int) "left-lane leader is alongside car" 3 v.Highway.Vehicle.id
+   | None -> Alcotest.fail "expected left-lane leader");
+  (match Highway.Scene.follower scene ego ~lane:2 with
+   | Some v -> Alcotest.(check int) "left-lane follower" 5 v.Highway.Vehicle.id
+   | None -> Alcotest.fail "expected follower")
+
+let test_scene_min_gap () =
+  let scene = three_lane_scene () in
+  (* closest same-lane pair: ego(100) -> 130 => 25.5m. Lane2: 103->160 is 52.5m;
+     lane1: 60 -> 100 = 35.5. So min gap is 25.5. *)
+  Alcotest.(check (float 1e-6)) "min gap" 25.5 (Highway.Scene.min_gap_to_any scene)
+
+let test_scene_invalid_lane_rejected () =
+  let road = Highway.Road.make ~num_lanes:2 ~length:100.0 () in
+  let ego = Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:5 ~speed:10.0 () in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Highway.Scene.make road ~ego ~others:[]);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 MOBIL} *)
+
+let test_mobil_blocked_by_alongside () =
+  let scene = three_lane_scene () in
+  let d =
+    Highway.Mobil.evaluate Highway.Mobil.default Highway.Idm.default scene
+      scene.Highway.Scene.ego ~target_lane:2
+  in
+  Alcotest.(check bool) "unsafe: car alongside" false d.Highway.Mobil.safe
+
+let test_mobil_invalid_lane () =
+  let scene = three_lane_scene () in
+  let d =
+    Highway.Mobil.evaluate Highway.Mobil.default Highway.Idm.default scene
+      scene.Highway.Scene.ego ~target_lane:7
+  in
+  Alcotest.(check bool) "invalid lane unsafe" false d.Highway.Mobil.safe
+
+let test_mobil_incentive_for_overtake () =
+  (* Ego stuck behind a crawler; left lane empty: changing left must be
+     safe and strongly incentivised. *)
+  let road = Highway.Road.make ~length:1000.0 () in
+  let ego =
+    Highway.Vehicle.make ~id:0 ~x:100.0 ~lane:0 ~speed:25.0 ~desired_speed:32.0 ()
+  in
+  let crawler = Highway.Vehicle.make ~id:1 ~x:115.0 ~lane:0 ~speed:12.0 () in
+  let scene = Highway.Scene.make road ~ego ~others:[ crawler ] in
+  let d =
+    Highway.Mobil.evaluate Highway.Mobil.default Highway.Idm.default scene ego
+      ~target_lane:1
+  in
+  Alcotest.(check bool) "safe" true d.Highway.Mobil.safe;
+  Alcotest.(check bool) "incentivised" true
+    (d.Highway.Mobil.incentive > Highway.Mobil.default.Highway.Mobil.threshold);
+  (match Highway.Mobil.decide Highway.Mobil.default Highway.Idm.default scene ego with
+   | Some lane -> Alcotest.(check int) "decides left" 1 lane
+   | None -> Alcotest.fail "expected a lane change decision")
+
+let test_mobil_no_pointless_change () =
+  (* Free road: no reason to change lanes. *)
+  let road = Highway.Road.make ~length:1000.0 () in
+  let ego = Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:1 ~speed:30.0 () in
+  let scene = Highway.Scene.make road ~ego ~others:[] in
+  (* keep-right bias may pull right; that is allowed. Going left is not. *)
+  match Highway.Mobil.decide Highway.Mobil.default Highway.Idm.default scene ego with
+  | Some lane -> Alcotest.(check bool) "never left" true (lane <= 1)
+  | None -> ()
+
+(* {1 Features} *)
+
+let test_features_dim_and_names () =
+  Alcotest.(check int) "dim" 84 Highway.Features.dim;
+  Alcotest.(check int) "names" 84 (Array.length Highway.Features.names);
+  Array.iter
+    (fun n -> Alcotest.(check bool) "nonempty name" true (String.length n > 0))
+    Highway.Features.names;
+  (* Names are unique. *)
+  let tbl = Hashtbl.create 84 in
+  Array.iter (fun n -> Hashtbl.replace tbl n ()) Highway.Features.names;
+  Alcotest.(check int) "unique names" 84 (Hashtbl.length tbl)
+
+let test_features_encode_known_scene () =
+  let scene = three_lane_scene () in
+  let f = Highway.Features.encode scene in
+  Alcotest.(check int) "dimension" 84 (Array.length f);
+  let left = Highway.Features.orientation_base Highway.Orientation.Left in
+  Alcotest.(check (float 0.0)) "left present" 1.0
+    f.(left + Highway.Features.presence_offset);
+  let rb = Highway.Features.orientation_base Highway.Orientation.Right_back in
+  Alcotest.(check (float 0.0)) "right-back absent" 0.0
+    f.(rb + Highway.Features.presence_offset);
+  Alcotest.(check (float 1e-9)) "ego speed normalised" (25.0 /. 40.0)
+    f.(Highway.Features.ego_speed);
+  Alcotest.(check (float 0.0)) "bias" 1.0 f.(83)
+
+let test_features_in_domain_for_simulated_scenes () =
+  let rng = Linalg.Rng.create 12 in
+  let sim = Highway.Simulator.spawn ~rng () in
+  for _ = 1 to 60 do
+    Highway.Simulator.step sim ~dt:0.2 ();
+    let f = Highway.Features.encode (Highway.Simulator.scene sim) in
+    if not (Interval.Box.contains Highway.Features.domain f) then begin
+      Array.iteri
+        (fun i x ->
+          if not (Interval.contains Highway.Features.domain.(i) x) then
+            Alcotest.failf "feature %s = %g outside %s"
+              Highway.Features.names.(i) x
+              (Format.asprintf "%a" Interval.pp Highway.Features.domain.(i)))
+        f
+    end
+  done
+
+let test_features_orientation_blocks_disjoint () =
+  let bases =
+    List.map Highway.Features.orientation_base Highway.Orientation.all
+  in
+  let sorted = List.sort compare bases in
+  Alcotest.(check (list int)) "8-strided blocks"
+    [ 8; 16; 24; 32; 40; 48; 56; 64 ] sorted
+
+(* {1 Simulator} *)
+
+let test_simulator_no_collisions_safe_traffic () =
+  let rng = Linalg.Rng.create 13 in
+  let sim = Highway.Simulator.spawn ~rng () in
+  Highway.Simulator.run sim ~dt:0.2 ~steps:500 ();
+  Alcotest.(check bool) "no collision in 100s of IDM traffic" false
+    (Highway.Simulator.collision_occurred sim)
+
+let test_simulator_time_advances () =
+  let rng = Linalg.Rng.create 14 in
+  let sim = Highway.Simulator.spawn ~rng () in
+  Highway.Simulator.run sim ~dt:0.1 ~steps:50 ();
+  Alcotest.(check (float 1e-9)) "time" 5.0 (Highway.Simulator.time sim)
+
+let test_simulator_ego_lane_change_via_action () =
+  let road = Highway.Road.make ~length:1000.0 () in
+  let ego = Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:0 ~speed:25.0 () in
+  let sim = Highway.Simulator.create ~road ~ego ~others:[] () in
+  (* Sustained left command crosses the half-lane boundary. *)
+  for _ = 1 to 20 do
+    Highway.Simulator.step sim
+      ~ego_action:{ Highway.Policy.lat_velocity = 1.2; lon_accel = 0.0 }
+      ~dt:0.2 ()
+  done;
+  Alcotest.(check int) "moved left" 1 (Highway.Simulator.ego sim).Highway.Vehicle.lane
+
+let test_simulator_ego_stays_on_road () =
+  let road = Highway.Road.make ~num_lanes:2 ~length:500.0 () in
+  let ego = Highway.Vehicle.make ~id:0 ~x:0.0 ~lane:1 ~speed:20.0 () in
+  let sim = Highway.Simulator.create ~road ~ego ~others:[] () in
+  for _ = 1 to 50 do
+    Highway.Simulator.step sim
+      ~ego_action:{ Highway.Policy.lat_velocity = 2.0; lon_accel = 0.0 }
+      ~dt:0.2 ()
+  done;
+  let v = Highway.Simulator.ego sim in
+  Alcotest.(check int) "clamped to leftmost lane" 1 v.Highway.Vehicle.lane;
+  Alcotest.(check bool) "offset clamped" true
+    (v.Highway.Vehicle.lat_offset <= road.Highway.Road.lane_width /. 2.0 +. 1e-9)
+
+(* {1 Policy / Recorder / Risk} *)
+
+let test_policy_safe_never_risky () =
+  let rng = Linalg.Rng.create 15 in
+  let samples =
+    Highway.Recorder.record ~rng ~style:Highway.Policy.Safe ~n_samples:400 ()
+  in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "safe expert produces no risky samples" false
+        s.Highway.Recorder.ground_truth_risky)
+    samples
+
+let test_recorder_risky_style_contaminates () =
+  let rng = Linalg.Rng.create 16 in
+  let samples =
+    Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky 0.5)
+      ~n_samples:1500 ()
+  in
+  let risky =
+    Array.fold_left
+      (fun n s -> if s.Highway.Recorder.ground_truth_risky then n + 1 else n)
+      0 samples
+  in
+  Alcotest.(check bool) "some risky samples recorded" true (risky > 0)
+
+let test_recorder_sample_count_and_dim () =
+  let rng = Linalg.Rng.create 17 in
+  let samples = Highway.Recorder.record ~rng ~n_samples:50 () in
+  Alcotest.(check int) "count" 50 (Array.length samples);
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "feature dim" 84
+        (Array.length s.Highway.Recorder.features))
+    samples
+
+let test_risk_predicates () =
+  let features = Array.make 84 0.0 in
+  let left = Highway.Features.orientation_base Highway.Orientation.Left in
+  features.(left + Highway.Features.presence_offset) <- 1.0;
+  Alcotest.(check bool) "risky left" true
+    (Highway.Risk.risky_left_move ~features ~lat_velocity:2.0);
+  Alcotest.(check bool) "slow move ok" false
+    (Highway.Risk.risky_left_move ~features ~lat_velocity:1.0);
+  Alcotest.(check bool) "right not flagged" false
+    (Highway.Risk.risky_right_move ~features ~lat_velocity:(-2.0));
+  features.(left + Highway.Features.presence_offset) <- 0.0;
+  Alcotest.(check bool) "empty left ok" false
+    (Highway.Risk.risky ~features ~lat_velocity:3.0);
+  Alcotest.(check bool) "describe none" true
+    (Highway.Risk.describe ~features ~lat_velocity:3.0 = None)
+
+(* {1 Render} *)
+
+let test_render_scene () =
+  let scene = three_lane_scene () in
+  let s = Highway.Render.scene scene in
+  Alcotest.(check bool) "contains ego marker" true (String.contains s 'E');
+  Alcotest.(check bool) "contains traffic" true (String.contains s '>');
+  Alcotest.(check bool) "multi-line" true (String.contains s '\n')
+
+let test_render_action_distribution () =
+  let v = Array.make 15 0.0 in
+  let g = Nn.Gmm.decode ~components:3 v in
+  let s = Highway.Render.action_distribution g in
+  Alcotest.(check bool) "has axis label" true
+    (String.length s > 50 && String.contains s '|')
+
+let test_render_side_by_side () =
+  let s = Highway.Render.side_by_side "a\nbb" "XX\nY\nZ" in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "three content lines" true (List.length lines >= 3)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "highway"
+    [
+      ( "road",
+        [
+          quick "wrap" test_road_wrap;
+          quick "delta" test_road_delta;
+          quick "validation" test_road_validation;
+        ] );
+      ( "vehicle",
+        [
+          quick "gap" test_vehicle_gap;
+          quick "history" test_vehicle_history;
+          quick "negative speed" test_vehicle_negative_speed_rejected;
+        ] );
+      ( "idm",
+        [
+          quick "free road" test_idm_free_road;
+          quick "equilibrium" test_idm_equilibrium;
+          quick "brakes when closing" test_idm_brakes_when_closing;
+          quick "monotone in gap" test_idm_monotone_in_gap;
+        ] );
+      ( "scene",
+        [
+          quick "neighbors" test_scene_neighbors;
+          quick "off-road orientations" test_scene_off_road_orientations;
+          quick "vehicle on left" test_scene_has_vehicle_on_left;
+          quick "leader/follower" test_scene_leader_follower;
+          quick "min gap" test_scene_min_gap;
+          quick "invalid lane" test_scene_invalid_lane_rejected;
+        ] );
+      ( "mobil",
+        [
+          quick "blocked alongside" test_mobil_blocked_by_alongside;
+          quick "invalid lane" test_mobil_invalid_lane;
+          quick "overtake incentive" test_mobil_incentive_for_overtake;
+          quick "no pointless change" test_mobil_no_pointless_change;
+        ] );
+      ( "features",
+        [
+          quick "dim and names" test_features_dim_and_names;
+          quick "known scene" test_features_encode_known_scene;
+          slow "domain membership" test_features_in_domain_for_simulated_scenes;
+          quick "block layout" test_features_orientation_blocks_disjoint;
+        ] );
+      ( "simulator",
+        [
+          slow "no collisions" test_simulator_no_collisions_safe_traffic;
+          quick "time" test_simulator_time_advances;
+          quick "ego lane change" test_simulator_ego_lane_change_via_action;
+          quick "stays on road" test_simulator_ego_stays_on_road;
+        ] );
+      ( "policy/recorder/risk",
+        [
+          slow "safe never risky" test_policy_safe_never_risky;
+          slow "risky contaminates" test_recorder_risky_style_contaminates;
+          quick "sample shape" test_recorder_sample_count_and_dim;
+          quick "risk predicates" test_risk_predicates;
+        ] );
+      ( "render",
+        [
+          quick "scene" test_render_scene;
+          quick "action distribution" test_render_action_distribution;
+          quick "side by side" test_render_side_by_side;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_road_delta_antisymmetric; prop_road_delta_range ] );
+    ]

@@ -1,0 +1,178 @@
+let interval = Alcotest.testable Interval.pp (fun a b ->
+    Float.abs (a.Interval.lo -. b.Interval.lo) < 1e-12
+    && Float.abs (a.Interval.hi -. b.Interval.hi) < 1e-12)
+
+let test_make_valid () =
+  let i = Interval.make (-1.0) 2.0 in
+  Alcotest.(check (float 0.0)) "lo" (-1.0) i.Interval.lo;
+  Alcotest.(check (float 0.0)) "hi" 2.0 i.Interval.hi
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Interval.make: lo (1) > hi (0)") (fun () ->
+      ignore (Interval.make 1.0 0.0))
+
+let test_make_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: NaN bound")
+    (fun () -> ignore (Interval.make Float.nan 0.0))
+
+let test_point_width_mid () =
+  let p = Interval.point 3.0 in
+  Alcotest.(check (float 0.0)) "width" 0.0 (Interval.width p);
+  Alcotest.(check (float 0.0)) "mid" 3.0 (Interval.mid p);
+  Alcotest.(check (float 0.0)) "mid of [-1,3]" 1.0
+    (Interval.mid (Interval.make (-1.0) 3.0))
+
+let test_contains_subset () =
+  let i = Interval.make 0.0 2.0 in
+  Alcotest.(check bool) "contains" true (Interval.contains i 1.0);
+  Alcotest.(check bool) "boundary" true (Interval.contains i 2.0);
+  Alcotest.(check bool) "outside" false (Interval.contains i 2.1);
+  Alcotest.(check bool) "subset" true
+    (Interval.subset (Interval.make 0.5 1.5) i);
+  Alcotest.(check bool) "not subset" false
+    (Interval.subset (Interval.make (-0.5) 1.0) i)
+
+let test_intersect_hull () =
+  let a = Interval.make 0.0 2.0 and b = Interval.make 1.0 3.0 in
+  (match Interval.intersect a b with
+   | Some i -> Alcotest.check interval "intersect" (Interval.make 1.0 2.0) i
+   | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "disjoint" true
+    (Interval.intersect a (Interval.make 5.0 6.0) = None);
+  Alcotest.check interval "hull" (Interval.make 0.0 3.0) (Interval.hull a b)
+
+let test_arith_known () =
+  let a = Interval.make 1.0 2.0 and b = Interval.make (-1.0) 3.0 in
+  Alcotest.check interval "add" (Interval.make 0.0 5.0) (Interval.add a b);
+  Alcotest.check interval "sub" (Interval.make (-2.0) 3.0) (Interval.sub a b);
+  Alcotest.check interval "neg" (Interval.make (-2.0) (-1.0)) (Interval.neg a);
+  Alcotest.check interval "scale pos" (Interval.make 2.0 4.0) (Interval.scale 2.0 a);
+  Alcotest.check interval "scale neg" (Interval.make (-4.0) (-2.0))
+    (Interval.scale (-2.0) a);
+  Alcotest.check interval "mul" (Interval.make (-2.0) 6.0) (Interval.mul a b)
+
+let test_relu_tanh () =
+  Alcotest.check interval "relu mixed" (Interval.make 0.0 2.0)
+    (Interval.relu (Interval.make (-1.0) 2.0));
+  Alcotest.check interval "relu negative" (Interval.make 0.0 0.0)
+    (Interval.relu (Interval.make (-3.0) (-1.0)));
+  let t = Interval.tanh_ (Interval.make (-1.0) 1.0) in
+  Alcotest.(check (float 1e-12)) "tanh lo" (tanh (-1.0)) t.Interval.lo;
+  Alcotest.(check (float 1e-12)) "tanh hi" (tanh 1.0) t.Interval.hi
+
+let test_affine_known () =
+  let boxes = [| Interval.make 0.0 1.0; Interval.make (-1.0) 1.0 |] in
+  let i = Interval.affine [| 2.0; -3.0 |] 1.0 boxes in
+  (* min = 2*0 - 3*1 + 1 = -2; max = 2*1 - 3*(-1) + 1 = 6 *)
+  Alcotest.check interval "affine" (Interval.make (-2.0) 6.0) i
+
+let test_box_helpers () =
+  let box = Interval.Box.of_bounds [ (0.0, 1.0); (-2.0, 2.0) ] in
+  Alcotest.(check bool) "contains center" true
+    (Interval.Box.contains box (Interval.Box.center box));
+  Alcotest.(check bool) "rejects outside" false
+    (Interval.Box.contains box [| 0.5; 3.0 |]);
+  Alcotest.(check bool) "rejects wrong dim" false
+    (Interval.Box.contains box [| 0.5 |])
+
+(* Soundness properties: interval ops contain the pointwise image. *)
+
+let float_in (i : Interval.t) =
+  QCheck.Gen.map (fun u -> i.Interval.lo +. (u *. Interval.width i))
+    (QCheck.Gen.float_bound_inclusive 1.0)
+
+let gen_interval =
+  QCheck.Gen.map
+    (fun (a, b) -> Interval.make (Float.min a b) (Float.max a b))
+    QCheck.Gen.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+
+let prop_binary name op point_op =
+  QCheck.Test.make ~name ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_interval gen_interval))
+    (fun (a, b) ->
+      let result = op a b in
+      let gen = QCheck.Gen.pair (float_in a) (float_in b) in
+      let samples = QCheck.Gen.generate ~n:20 ~rand:(Random.State.make [| 5 |]) gen in
+      List.for_all
+        (fun (x, y) -> Interval.contains result (point_op x y) || Float.is_nan (point_op x y))
+        samples)
+
+let prop_add_sound = prop_binary "add sound" Interval.add ( +. )
+let prop_sub_sound = prop_binary "sub sound" Interval.sub ( -. )
+let prop_mul_sound = prop_binary "mul sound" Interval.mul ( *. )
+
+let prop_unary name op point_op =
+  QCheck.Test.make ~name ~count:500 (QCheck.make gen_interval) (fun a ->
+      let result = op a in
+      let samples =
+        QCheck.Gen.generate ~n:20 ~rand:(Random.State.make [| 6 |]) (float_in a)
+      in
+      List.for_all (fun x -> Interval.contains result (point_op x)) samples)
+
+let prop_relu_sound = prop_unary "relu sound" Interval.relu (Float.max 0.0)
+let prop_tanh_sound = prop_unary "tanh sound" Interval.tanh_ tanh
+
+let prop_affine_sound =
+  QCheck.Test.make ~name:"affine sound" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (return 4) (float_range (-3.0) 3.0))
+           (list_size (return 4) gen_interval)))
+    (fun (w, boxes) ->
+      let w = Array.of_list w and boxes = Array.of_list boxes in
+      let result = Interval.affine w 0.7 boxes in
+      let gen =
+        QCheck.Gen.(flatten_l (Array.to_list (Array.map float_in boxes)))
+      in
+      let samples = QCheck.Gen.generate ~n:20 ~rand:(Random.State.make [| 7 |]) gen in
+      List.for_all
+        (fun xs ->
+          let x = Array.of_list xs in
+          let v = ref 0.7 in
+          Array.iteri (fun i wi -> v := !v +. (wi *. x.(i))) w;
+          (* Allow one ulp-ish of slack: interval endpoints are computed
+             with different rounding order than the point evaluation. *)
+          result.Interval.lo -. 1e-9 <= !v && !v <= result.Interval.hi +. 1e-9)
+        samples)
+
+let prop_box_sample_inside =
+  QCheck.Test.make ~name:"box samples inside" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (return 5) gen_interval))
+    (fun boxes ->
+      let box = Array.of_list boxes in
+      let rng = Linalg.Rng.create 99 in
+      List.for_all
+        (fun _ -> Interval.Box.contains box (Interval.Box.sample box rng))
+        (List.init 20 Fun.id))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "interval"
+    [
+      ( "basics",
+        [
+          quick "make valid" test_make_valid;
+          quick "make invalid" test_make_invalid;
+          quick "make nan" test_make_nan;
+          quick "point/width/mid" test_point_width_mid;
+          quick "contains/subset" test_contains_subset;
+          quick "intersect/hull" test_intersect_hull;
+          quick "arithmetic" test_arith_known;
+          quick "relu/tanh" test_relu_tanh;
+          quick "affine" test_affine_known;
+          quick "box helpers" test_box_helpers;
+        ] );
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_sound;
+            prop_sub_sound;
+            prop_mul_sound;
+            prop_relu_sound;
+            prop_tanh_sound;
+            prop_affine_sound;
+            prop_box_sample_inside;
+          ] );
+    ]

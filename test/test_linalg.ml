@@ -1,0 +1,306 @@
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Rng} *)
+
+let test_rng_determinism () =
+  let a = Linalg.Rng.create 42 and b = Linalg.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Linalg.Rng.int64 a) (Linalg.Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Linalg.Rng.create 1 and b = Linalg.Rng.create 2 in
+  Alcotest.(check bool) "different first draw" false
+    (Linalg.Rng.int64 a = Linalg.Rng.int64 b)
+
+let test_rng_float_range () =
+  let rng = Linalg.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Linalg.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_uniform_range () =
+  let rng = Linalg.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Linalg.Rng.uniform rng (-3.0) 7.0 in
+    Alcotest.(check bool) "in [-3, 7)" true (x >= -3.0 && x < 7.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Linalg.Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let k = Linalg.Rng.int rng 7 in
+    Alcotest.(check bool) "in [0, 7)" true (k >= 0 && k < 7);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_int_power_of_two () =
+  let rng = Linalg.Rng.create 6 in
+  for _ = 1 to 500 do
+    let k = Linalg.Rng.int rng 8 in
+    Alcotest.(check bool) "in [0, 8)" true (k >= 0 && k < 8)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Linalg.Rng.create 7 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Linalg.Rng.gaussian rng) in
+  let mean = Linalg.Stats.mean xs and std = Linalg.Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (std -. 1.0) < 0.05)
+
+let test_rng_split_independent () =
+  let a = Linalg.Rng.create 11 in
+  let b = Linalg.Rng.split a in
+  let xa = Linalg.Rng.int64 a and xb = Linalg.Rng.int64 b in
+  Alcotest.(check bool) "split streams differ" false (xa = xb)
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Linalg.Rng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Linalg.Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_copy () =
+  let a = Linalg.Rng.create 9 in
+  ignore (Linalg.Rng.int64 a);
+  let b = Linalg.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Linalg.Rng.int64 a)
+    (Linalg.Rng.int64 b)
+
+(* {1 Vec} *)
+
+let test_vec_add_sub () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 0.5; -1.0; 2.0 |] in
+  Alcotest.(check bool) "add" true
+    (Linalg.Vec.approx_equal (Linalg.Vec.add a b) [| 1.5; 1.0; 5.0 |]);
+  Alcotest.(check bool) "sub" true
+    (Linalg.Vec.approx_equal (Linalg.Vec.sub a b) [| 0.5; 3.0; 1.0 |])
+
+let test_vec_dot_norm () =
+  let a = [| 3.0; 4.0 |] in
+  check_float "dot" 25.0 (Linalg.Vec.dot a a);
+  check_float "norm2" 5.0 (Linalg.Vec.norm2 a);
+  check_float "norm_inf" 4.0 (Linalg.Vec.norm_inf a)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Linalg.Vec.add [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Linalg.Vec.axpy 2.0 [| 3.0; -1.0 |] y;
+  Alcotest.(check bool) "axpy" true (Linalg.Vec.approx_equal y [| 7.0; -1.0 |])
+
+let test_vec_argmax_argmin () =
+  let v = [| 1.0; 5.0; -2.0; 5.0 |] in
+  Alcotest.(check int) "argmax first winner" 1 (Linalg.Vec.argmax v);
+  Alcotest.(check int) "argmin" 2 (Linalg.Vec.argmin v)
+
+let test_vec_stats () =
+  let v = [| 2.0; 4.0; 6.0 |] in
+  check_float "sum" 12.0 (Linalg.Vec.sum v);
+  check_float "mean" 4.0 (Linalg.Vec.mean v);
+  check_float "min" 2.0 (Linalg.Vec.min v);
+  check_float "max" 6.0 (Linalg.Vec.max v)
+
+let test_vec_empty_errors () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Vec.mean: empty vector")
+    (fun () -> ignore (Linalg.Vec.mean [||]))
+
+(* {1 Mat} *)
+
+let test_mat_identity_mul () =
+  let id = Linalg.Mat.identity 3 in
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |]; [| 7.0; 8.0; 10.0 |] |] in
+  Alcotest.(check bool) "I*m = m" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.mul id m) m);
+  Alcotest.(check bool) "m*I = m" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.mul m id) m)
+
+let test_mat_mul_known () =
+  let a = Linalg.Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Linalg.Mat.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let expected = Linalg.Mat.of_rows [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |] in
+  Alcotest.(check bool) "2x2 product" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.mul a b) expected)
+
+let test_mat_mul_vec () =
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 0.0; -1.0; 1.0 |] |] in
+  let y = Linalg.Mat.mul_vec m [| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check bool) "mat-vec" true (Linalg.Vec.approx_equal y [| 6.0; 0.0 |])
+
+let test_mat_mul_vec_transpose () =
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let y = [| 1.0; 1.0; 1.0 |] in
+  let expected = Linalg.Mat.mul_vec (Linalg.Mat.transpose m) y in
+  Alcotest.(check bool) "m^T y" true
+    (Linalg.Vec.approx_equal (Linalg.Mat.mul_vec_transpose m y) expected)
+
+let test_mat_transpose_involution () =
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  Alcotest.(check bool) "(m^T)^T = m" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.transpose (Linalg.Mat.transpose m)) m)
+
+let test_mat_outer () =
+  let o = Linalg.Mat.outer [| 1.0; 2.0 |] [| 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "rows" 2 (Linalg.Mat.rows o);
+  Alcotest.(check int) "cols" 3 (Linalg.Mat.cols o);
+  check_float "o(1,2)" 10.0 (Linalg.Mat.get o 1 2)
+
+let test_mat_add_in_place () =
+  let a = Linalg.Mat.of_rows [| [| 1.0; 1.0 |] |] in
+  Linalg.Mat.add_in_place a (Linalg.Mat.of_rows [| [| 2.0; -1.0 |] |]);
+  Alcotest.(check bool) "in place add" true
+    (Linalg.Mat.approx_equal a (Linalg.Mat.of_rows [| [| 3.0; 0.0 |] |]))
+
+let test_mat_row_col () =
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "row" true (Linalg.Vec.approx_equal (Linalg.Mat.row m 1) [| 3.0; 4.0 |]);
+  Alcotest.(check bool) "col" true (Linalg.Vec.approx_equal (Linalg.Mat.col m 1) [| 2.0; 4.0 |])
+
+let test_mat_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Linalg.Mat.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_mat_frobenius () =
+  let m = Linalg.Mat.of_rows [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  check_float "frobenius" 5.0 (Linalg.Mat.frobenius m)
+
+(* {1 Stats} *)
+
+let test_stats_mean_var () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Linalg.Stats.mean xs);
+  check_float "variance" 4.0 (Linalg.Stats.variance xs);
+  check_float "stddev" 2.0 (Linalg.Stats.stddev xs)
+
+let test_stats_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 2.0; 4.0; 6.0; 8.0 |] in
+  check_float "perfect positive" 1.0 (Linalg.Stats.correlation xs ys);
+  let zs = [| 8.0; 6.0; 4.0; 2.0 |] in
+  check_float "perfect negative" (-1.0) (Linalg.Stats.correlation xs zs);
+  let flat = [| 5.0; 5.0; 5.0; 5.0 |] in
+  check_float "degenerate" 0.0 (Linalg.Stats.correlation xs flat)
+
+let test_stats_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "p0" 1.0 (Linalg.Stats.percentile xs 0.0);
+  check_float "p100" 4.0 (Linalg.Stats.percentile xs 100.0);
+  check_float "p50" 2.5 (Linalg.Stats.percentile xs 50.0)
+
+let test_stats_histogram () =
+  let xs = [| 0.1; 0.2; 0.9; -5.0; 5.0 |] in
+  let h = Linalg.Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 xs in
+  Alcotest.(check (array int)) "clamped bins" [| 3; 2 |] h
+
+let test_stats_welford_matches_direct () =
+  let rng = Linalg.Rng.create 21 in
+  let xs = Array.init 500 (fun _ -> Linalg.Rng.uniform rng (-5.0) 5.0) in
+  let push, finish = Linalg.Stats.welford () in
+  Array.iter push xs;
+  let mean, var, count = finish () in
+  Alcotest.(check int) "count" 500 count;
+  Alcotest.(check (float 1e-9)) "mean" (Linalg.Stats.mean xs) mean;
+  Alcotest.(check (float 1e-9)) "variance" (Linalg.Stats.variance xs) var
+
+(* {1 Properties} *)
+
+let prop_dot_commutative =
+  QCheck.Test.make ~name:"dot commutative" ~count:200
+    QCheck.(pair (list_of_size (Gen.return 5) (float_range (-10.0) 10.0))
+              (list_of_size (Gen.return 5) (float_range (-10.0) 10.0)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      Float.abs (Linalg.Vec.dot a b -. Linalg.Vec.dot b a) < 1e-9)
+
+let prop_matvec_linear =
+  QCheck.Test.make ~name:"mat-vec linearity" ~count:100
+    QCheck.(triple (list_of_size (Gen.return 4) (float_range (-5.0) 5.0))
+              (list_of_size (Gen.return 4) (float_range (-5.0) 5.0))
+              (float_range (-3.0) 3.0))
+    (fun (x, y, s) ->
+      let rng = Linalg.Rng.create 77 in
+      let m = Linalg.Mat.init 3 4 (fun _ _ -> Linalg.Rng.uniform rng (-2.0) 2.0) in
+      let x = Array.of_list x and y = Array.of_list y in
+      let lhs =
+        Linalg.Mat.mul_vec m
+          (Linalg.Vec.add (Linalg.Vec.scale s x) y)
+      in
+      let rhs =
+        Linalg.Vec.add
+          (Linalg.Vec.scale s (Linalg.Mat.mul_vec m x))
+          (Linalg.Mat.mul_vec m y)
+      in
+      Linalg.Vec.approx_equal ~eps:1e-6 lhs rhs)
+
+let prop_transpose_mul =
+  QCheck.Test.make ~name:"(AB)^T = B^T A^T" ~count:50
+    QCheck.(int_range 1 5)
+    (fun n ->
+      let rng = Linalg.Rng.create (n + 100) in
+      let a = Linalg.Mat.init n 3 (fun _ _ -> Linalg.Rng.uniform rng (-1.0) 1.0) in
+      let b = Linalg.Mat.init 3 4 (fun _ _ -> Linalg.Rng.uniform rng (-1.0) 1.0) in
+      Linalg.Mat.approx_equal ~eps:1e-9
+        (Linalg.Mat.transpose (Linalg.Mat.mul a b))
+        (Linalg.Mat.mul (Linalg.Mat.transpose b) (Linalg.Mat.transpose a)))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "linalg"
+    [
+      ( "rng",
+        [
+          quick "determinism" test_rng_determinism;
+          quick "seeds differ" test_rng_seeds_differ;
+          quick "float range" test_rng_float_range;
+          quick "uniform range" test_rng_uniform_range;
+          quick "int range" test_rng_int_range;
+          quick "int power of two" test_rng_int_power_of_two;
+          quick "gaussian moments" test_rng_gaussian_moments;
+          quick "split independent" test_rng_split_independent;
+          quick "shuffle permutation" test_rng_shuffle_is_permutation;
+          quick "copy" test_rng_copy;
+        ] );
+      ( "vec",
+        [
+          quick "add/sub" test_vec_add_sub;
+          quick "dot/norm" test_vec_dot_norm;
+          quick "dim mismatch" test_vec_dim_mismatch;
+          quick "axpy" test_vec_axpy;
+          quick "argmax/argmin" test_vec_argmax_argmin;
+          quick "aggregates" test_vec_stats;
+          quick "empty errors" test_vec_empty_errors;
+        ] );
+      ( "mat",
+        [
+          quick "identity" test_mat_identity_mul;
+          quick "known product" test_mat_mul_known;
+          quick "mat-vec" test_mat_mul_vec;
+          quick "mat-vec transpose" test_mat_mul_vec_transpose;
+          quick "transpose involution" test_mat_transpose_involution;
+          quick "outer" test_mat_outer;
+          quick "add in place" test_mat_add_in_place;
+          quick "row/col" test_mat_row_col;
+          quick "ragged rejected" test_mat_ragged_rejected;
+          quick "frobenius" test_mat_frobenius;
+        ] );
+      ( "stats",
+        [
+          quick "mean/var" test_stats_mean_var;
+          quick "correlation" test_stats_correlation;
+          quick "percentile" test_stats_percentile;
+          quick "histogram" test_stats_histogram;
+          quick "welford" test_stats_welford_matches_direct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dot_commutative; prop_matvec_linear; prop_transpose_mul ] );
+    ]

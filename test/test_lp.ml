@@ -1,0 +1,253 @@
+let status_name = function
+  | Lp.Simplex.Optimal -> "optimal"
+  | Lp.Simplex.Infeasible -> "infeasible"
+  | Lp.Simplex.Iteration_limit -> "iteration_limit"
+
+let check_status expected s =
+  Alcotest.(check string) "status" (status_name expected)
+    (status_name s.Lp.Simplex.status)
+
+let test_basic_max () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> (4, 0), obj 12 *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:3.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:2.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 4.0;
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 3.0) ] Lp.Problem.Le 6.0;
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" 12.0 s.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-6)) "x" 4.0 s.Lp.Simplex.x.(0)
+
+let test_equality_row () =
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.add_var p ~lo:0.0 ~hi:5.0 ~obj:1.0 () in
+  let b = Lp.Problem.add_var p ~lo:0.0 ~hi:5.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (a, 1.0); (b, 1.0) ] Lp.Problem.Eq 3.0;
+  Lp.Problem.add_constraint p [ (a, 1.0) ] Lp.Problem.Ge 1.0;
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" 3.0 s.Lp.Simplex.objective;
+  Alcotest.(check bool) "a >= 1" true (s.Lp.Simplex.x.(0) >= 1.0 -. 1e-6)
+
+let test_minimization () =
+  (* min x st x + y >= 2, y <= 0.5 -> x = 1.5 *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:0.5 ~obj:0.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Ge 2.0;
+  let s = Lp.Simplex.solve_min p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" 1.5 s.Lp.Simplex.objective
+
+let test_infeasible () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0) ] Lp.Problem.Le 1.0;
+  Lp.Problem.add_constraint p [ (x, 1.0) ] Lp.Problem.Ge 2.0;
+  check_status Lp.Simplex.Infeasible (Lp.Simplex.solve p)
+
+let test_infeasible_via_bounds () =
+  (* Row unsatisfiable for any x in the box — caught at build time. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0) ] Lp.Problem.Ge 5.0;
+  check_status Lp.Simplex.Infeasible (Lp.Simplex.solve p)
+
+let test_bounds_only () =
+  (* No constraints: optimum sits at the bounds. *)
+  let p = Lp.Problem.create () in
+  let _ = Lp.Problem.add_var p ~lo:(-2.0) ~hi:3.0 ~obj:1.0 () in
+  let _ = Lp.Problem.add_var p ~lo:(-2.0) ~hi:3.0 ~obj:(-1.0) () in
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-9)) "objective" 5.0 s.Lp.Simplex.objective
+
+let test_negative_bounds () =
+  (* max x + y with x in [-5,-1], y in [-4,-2], x + y >= -7 *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:(-5.0) ~hi:(-1.0) ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:(-4.0) ~hi:(-2.0) ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Ge (-7.0);
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" (-3.0) s.Lp.Simplex.objective
+
+let test_fixed_variable () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:2.0 ~hi:2.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 5.0;
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" 5.0 s.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-9)) "x fixed" 2.0 s.Lp.Simplex.x.(0)
+
+let test_equality_chain () =
+  (* The structure the NN encoder produces: chains of definitional
+     equalities z2 = 2 z1 + 1, z1 = 3 x - 1. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:(-1.0) ~hi:1.0 ~obj:0.0 () in
+  let z1 = Lp.Problem.add_var p ~lo:(-4.0) ~hi:2.0 ~obj:0.0 () in
+  let z2 = Lp.Problem.add_var p ~lo:(-7.0) ~hi:5.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (z1, 1.0); (x, -3.0) ] Lp.Problem.Eq (-1.0);
+  Lp.Problem.add_constraint p [ (z2, 1.0); (z1, -2.0) ] Lp.Problem.Eq 1.0;
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  (* x = 1 -> z1 = 2 -> z2 = 5 *)
+  Alcotest.(check (float 1e-6)) "objective" 5.0 s.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-6)) "x" 1.0 s.Lp.Simplex.x.(0)
+
+let test_duplicate_terms_merged () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  (* x + x <= 4 must behave as 2x <= 4. *)
+  Lp.Problem.add_constraint p [ (x, 1.0); (x, 1.0) ] Lp.Problem.Le 4.0;
+  let s = Lp.Simplex.solve p in
+  Alcotest.(check (float 1e-6)) "objective" 2.0 s.Lp.Simplex.objective
+
+let test_problem_validation () =
+  let p = Lp.Problem.create () in
+  Alcotest.check_raises "infinite bound"
+    (Invalid_argument "Problem.add_var: bounds must be finite") (fun () ->
+      ignore (Lp.Problem.add_var p ~lo:0.0 ~hi:infinity ~obj:0.0 ()));
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Problem.add_var: lo (1) > hi (0)") (fun () ->
+      ignore (Lp.Problem.add_var p ~lo:1.0 ~hi:0.0 ~obj:0.0 ()))
+
+let test_problem_copy_independent () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  let q = Lp.Problem.copy p in
+  Lp.Problem.set_bounds q x ~lo:0.0 ~hi:1.0;
+  let lo, hi = Lp.Problem.bounds p x in
+  Alcotest.(check (float 0.0)) "original lo" 0.0 lo;
+  Alcotest.(check (float 0.0)) "original hi" 10.0 hi;
+  let s = Lp.Simplex.solve p and sq = Lp.Simplex.solve q in
+  Alcotest.(check (float 1e-9)) "p unaffected" 10.0 s.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-9)) "q tightened" 1.0 sq.Lp.Simplex.objective
+
+let test_degenerate_many_ties () =
+  (* Many redundant constraints through the optimum: classic cycling
+     bait for Dantzig's rule. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  for _ = 1 to 8 do
+    Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 2.0
+  done;
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, -1.0) ] Lp.Problem.Le 0.0;
+  Lp.Problem.add_constraint p [ (x, -1.0); (y, 1.0) ] Lp.Problem.Le 0.0;
+  let s = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal s;
+  Alcotest.(check (float 1e-6)) "objective" 2.0 s.Lp.Simplex.objective
+
+(* Random LPs: the solver's claimed optimum must be feasible and must
+   dominate every feasible sample point. *)
+let gen_lp =
+  QCheck.Gen.(
+    let* nvars = int_range 2 5 in
+    let* nrows = int_range 1 6 in
+    let* objs = list_size (return nvars) (float_range (-3.0) 3.0) in
+    let* rows =
+      list_size (return nrows)
+        (pair
+           (list_size (return nvars) (float_range (-2.0) 2.0))
+           (float_range (-4.0) 8.0))
+    in
+    return (nvars, objs, rows))
+
+let build_random_lp (nvars, objs, rows) =
+  let p = Lp.Problem.create () in
+  let vars =
+    List.map
+      (fun o -> Lp.Problem.add_var p ~lo:(-2.0) ~hi:2.0 ~obj:o ())
+      objs
+  in
+  List.iter
+    (fun (coeffs, rhs) ->
+      let terms = List.map2 (fun v c -> (v, c)) vars coeffs in
+      Lp.Problem.add_constraint p terms Lp.Problem.Le rhs)
+    rows;
+  (p, nvars)
+
+let prop_random_lp_optimal_dominates =
+  QCheck.Test.make ~name:"random LP: optimum dominates samples" ~count:150
+    (QCheck.make gen_lp) (fun spec ->
+      let p, nvars = build_random_lp spec in
+      let s = Lp.Simplex.solve p in
+      match s.Lp.Simplex.status with
+      | Lp.Simplex.Iteration_limit -> false
+      | Lp.Simplex.Infeasible ->
+          (* Must not have any feasible sample point. *)
+          let rng = Linalg.Rng.create 4242 in
+          let obj = Lp.Problem.objective p in
+          ignore obj;
+          List.for_all
+            (fun _ ->
+              let x =
+                Array.init nvars (fun _ -> Linalg.Rng.uniform rng (-2.0) 2.0)
+              in
+              not (Lp.Simplex.primal_feasible p x))
+            (List.init 200 Fun.id)
+      | Lp.Simplex.Optimal ->
+          Lp.Simplex.primal_feasible ~eps:1e-5 p s.Lp.Simplex.x
+          && begin
+               let rng = Linalg.Rng.create 777 in
+               let obj = Lp.Problem.objective p in
+               List.for_all
+                 (fun _ ->
+                   let x =
+                     Array.init nvars (fun _ ->
+                         Linalg.Rng.uniform rng (-2.0) 2.0)
+                   in
+                   (not (Lp.Simplex.primal_feasible p x))
+                   || begin
+                        let v = ref 0.0 in
+                        Array.iteri (fun i xi -> v := !v +. (obj.(i) *. xi)) x;
+                        !v <= s.Lp.Simplex.objective +. 1e-5
+                      end)
+                 (List.init 200 Fun.id)
+             end)
+
+let prop_min_is_neg_max =
+  QCheck.Test.make ~name:"solve_min = -solve(max) on negated objective"
+    ~count:80 (QCheck.make gen_lp) (fun spec ->
+      let p1, _ = build_random_lp spec in
+      let nvars, objs, rows = spec in
+      let p2, _ = build_random_lp (nvars, List.map (fun o -> -.o) objs, rows) in
+      let s_min = Lp.Simplex.solve_min p1 in
+      let s_max = Lp.Simplex.solve p2 in
+      match (s_min.Lp.Simplex.status, s_max.Lp.Simplex.status) with
+      | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+          Float.abs (s_min.Lp.Simplex.objective +. s_max.Lp.Simplex.objective)
+          < 1e-5
+      | a, b -> a = b)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          quick "basic max" test_basic_max;
+          quick "equality row" test_equality_row;
+          quick "minimization" test_minimization;
+          quick "infeasible" test_infeasible;
+          quick "infeasible via bounds" test_infeasible_via_bounds;
+          quick "bounds only" test_bounds_only;
+          quick "negative bounds" test_negative_bounds;
+          quick "fixed variable" test_fixed_variable;
+          quick "equality chain" test_equality_chain;
+          quick "duplicate terms" test_duplicate_terms_merged;
+          quick "degenerate ties" test_degenerate_many_ties;
+        ] );
+      ( "problem",
+        [
+          quick "validation" test_problem_validation;
+          quick "copy independent" test_problem_copy_independent;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_lp_optimal_dominates; prop_min_is_neg_max ] );
+    ]

@@ -1,0 +1,216 @@
+let outcome_name = function
+  | Milp.Solver.Optimal -> "optimal"
+  | Milp.Solver.Infeasible -> "infeasible"
+  | Milp.Solver.Time_limit -> "time_limit"
+  | Milp.Solver.Node_limit -> "node_limit"
+
+let check_outcome expected r =
+  Alcotest.(check string) "outcome" (outcome_name expected)
+    (outcome_name r.Milp.Solver.outcome)
+
+let incumbent_value r =
+  match r.Milp.Solver.incumbent with
+  | Some (_, v) -> v
+  | None -> Alcotest.fail "expected an incumbent"
+
+(* Small knapsack with known optimum. *)
+let test_knapsack_known () =
+  let m = Milp.Model.create () in
+  let values = [| 10.0; 13.0; 7.0; 8.0 |] and weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs)) 10.0;
+  Milp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  let r = Milp.Solver.solve m in
+  check_outcome Milp.Solver.Optimal r;
+  (* best: items 1+4 (13+8=21, weight 10) *)
+  Alcotest.(check (float 1e-6)) "optimum" 21.0 (incumbent_value r)
+
+let test_integrality_of_incumbent () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  let y = Milp.Model.add_continuous m ~lo:0.0 ~hi:1.0 () in
+  Milp.Model.add_le m [ (x, 1.0); (y, 1.0) ] 1.5;
+  Milp.Model.set_objective m [ (x, 1.0); (y, 1.0) ] ;
+  let r = Milp.Solver.solve m in
+  check_outcome Milp.Solver.Optimal r;
+  (match r.Milp.Solver.incumbent with
+   | Some (point, _) ->
+       let frac = Float.abs (point.(x) -. Float.round point.(x)) in
+       Alcotest.(check bool) "binary integral" true (frac < 1e-6)
+   | None -> Alcotest.fail "no incumbent");
+  Alcotest.(check (float 1e-6)) "optimum" 1.5 (incumbent_value r)
+
+let test_integer_variable () =
+  (* max x st 2x <= 7, x integer in [0, 10] -> x = 3 *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_integer m ~lo:0 ~hi:10 () in
+  Milp.Model.add_le m [ (x, 2.0) ] 7.0;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  let r = Milp.Solver.solve m in
+  Alcotest.(check (float 1e-6)) "optimum" 3.0 (incumbent_value r)
+
+let test_infeasible_milp () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.add_ge m [ (x, 1.0) ] 0.4;
+  Milp.Model.add_le m [ (x, 1.0) ] 0.6;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  (* LP relaxation feasible (x in [0.4, 0.6]) but no integral point. *)
+  check_outcome Milp.Solver.Infeasible (Milp.Solver.solve m)
+
+let test_solve_min () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_integer m ~lo:0 ~hi:10 () in
+  Milp.Model.add_ge m [ (x, 2.0) ] 7.0;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  let r = Milp.Solver.solve_min m in
+  Alcotest.(check (float 1e-6)) "min integer" 4.0 (incumbent_value r)
+
+let test_cutoff_prunes_all () =
+  (* With a cutoff above the optimum, solver certifies max <= cutoff by
+     finishing without an incumbent. *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.set_objective m [ (x, 5.0) ];
+  let r = Milp.Solver.solve ~cutoff:6.0 m in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check bool) "no incumbent" true (r.Milp.Solver.incumbent = None);
+  Alcotest.(check bool) "bound = cutoff" true (r.Milp.Solver.best_bound <= 6.0 +. 1e-9)
+
+let test_cutoff_finds_violation () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.set_objective m [ (x, 5.0) ];
+  let r = Milp.Solver.solve ~cutoff:3.0 m in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check (float 1e-6)) "found violating point" 5.0 (incumbent_value r)
+
+let test_node_limit () =
+  let m = Milp.Model.create () in
+  let xs = List.init 12 (fun _ -> Milp.Model.add_binary m ()) in
+  Milp.Model.add_le m (List.map (fun x -> (x, 1.0)) xs) 6.5;
+  Milp.Model.set_objective m (List.mapi (fun i x -> (x, 1.0 +. (0.01 *. float_of_int i))) xs);
+  let r = Milp.Solver.solve ~node_limit:1 m in
+  Alcotest.(check bool) "stopped early" true
+    (r.Milp.Solver.outcome = Milp.Solver.Node_limit
+     || r.Milp.Solver.outcome = Milp.Solver.Optimal)
+
+let test_depth_first_same_optimum () =
+  let m = Milp.Model.create () in
+  let values = [| 4.0; 5.0; 3.0; 7.0; 2.0 |] and weights = [| 2.0; 3.0; 1.0; 4.0; 1.0 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs)) 6.0;
+  Milp.Model.set_objective m (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  let best = Milp.Solver.solve m in
+  let dfs = Milp.Solver.solve ~depth_first:true m in
+  Alcotest.(check (float 1e-6)) "same optimum" (incumbent_value best)
+    (incumbent_value dfs)
+
+let test_branch_rules_same_optimum () =
+  let m = Milp.Model.create () in
+  let xs = List.init 6 (fun _ -> Milp.Model.add_binary m ()) in
+  Milp.Model.add_le m (List.map (fun x -> (x, 1.0)) xs) 3.2;
+  Milp.Model.set_objective m (List.mapi (fun i x -> (x, float_of_int (i + 1))) xs);
+  let a = Milp.Solver.solve m in
+  let b =
+    Milp.Solver.solve ~branch_rule:(Milp.Solver.Priority (fun v -> v)) m
+  in
+  let c =
+    Milp.Solver.solve
+      ~branch_rule:(Milp.Solver.Pseudo_first (Array.of_list xs)) m
+  in
+  Alcotest.(check (float 1e-6)) "priority rule" (incumbent_value a) (incumbent_value b);
+  Alcotest.(check (float 1e-6)) "pseudo order" (incumbent_value a) (incumbent_value c)
+
+let test_primal_heuristic_adopted () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  let calls = ref 0 in
+  let heuristic _relax =
+    incr calls;
+    let point = Array.make (Milp.Model.num_vars m) 0.0 in
+    point.(x) <- 1.0;
+    Some (point, 1.0)
+  in
+  let r = Milp.Solver.solve ~primal_heuristic:heuristic m in
+  Alcotest.(check bool) "heuristic called" true (!calls > 0);
+  Alcotest.(check (float 1e-9)) "optimum via heuristic" 1.0 (incumbent_value r)
+
+let test_model_bookkeeping () =
+  let m = Milp.Model.create () in
+  let a = Milp.Model.add_binary m ~name:"a" () in
+  let b = Milp.Model.add_continuous m ~lo:0.0 ~hi:2.0 () in
+  let c = Milp.Model.add_integer m ~lo:(-1) ~hi:4 () in
+  Alcotest.(check int) "num vars" 3 (Milp.Model.num_vars m);
+  Alcotest.(check int) "num ints" 2 (Milp.Model.num_integer_vars m);
+  Alcotest.(check bool) "a integer" true (Milp.Model.is_integer m a);
+  Alcotest.(check bool) "b continuous" false (Milp.Model.is_integer m b);
+  Alcotest.(check (list int)) "insertion order" [ a; c ] (Milp.Model.integer_vars m);
+  Alcotest.(check string) "name" "a" (Milp.Model.var_name m a);
+  let lo, hi = Milp.Model.bounds m c in
+  Alcotest.(check (float 0.0)) "int lo" (-1.0) lo;
+  Alcotest.(check (float 0.0)) "int hi" 4.0 hi
+
+(* Random knapsacks vs brute force. *)
+let gen_knapsack =
+  QCheck.Gen.(
+    let* n = int_range 2 10 in
+    let* values = list_size (return n) (float_range 0.5 10.0) in
+    let* weights = list_size (return n) (float_range 0.5 5.0) in
+    let* capacity = float_range 1.0 12.0 in
+    return (values, weights, capacity))
+
+let brute_force values weights capacity =
+  let n = List.length values in
+  let values = Array.of_list values and weights = Array.of_list weights in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0.0 and w = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v +. values.(i);
+        w := !w +. weights.(i)
+      end
+    done;
+    if !w <= capacity +. 1e-9 && !v > !best then best := !v
+  done;
+  !best
+
+let prop_knapsack_matches_brute_force =
+  QCheck.Test.make ~name:"knapsack matches brute force" ~count:60
+    (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
+      let m = Milp.Model.create () in
+      let xs = List.map (fun _ -> Milp.Model.add_binary m ()) values in
+      Milp.Model.add_le m (List.map2 (fun x w -> (x, w)) xs weights) capacity;
+      Milp.Model.set_objective m (List.map2 (fun x v -> (x, v)) xs values);
+      let r = Milp.Solver.solve m in
+      match r.Milp.Solver.incumbent with
+      | Some (_, v) ->
+          Float.abs (v -. brute_force values weights capacity) < 1e-5
+      | None -> brute_force values weights capacity = 0.0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "milp"
+    [
+      ( "solver",
+        [
+          quick "knapsack known" test_knapsack_known;
+          quick "incumbent integral" test_integrality_of_incumbent;
+          quick "integer variable" test_integer_variable;
+          quick "infeasible" test_infeasible_milp;
+          quick "solve_min" test_solve_min;
+          quick "cutoff prunes" test_cutoff_prunes_all;
+          quick "cutoff violation" test_cutoff_finds_violation;
+          quick "node limit" test_node_limit;
+          quick "depth-first optimum" test_depth_first_same_optimum;
+          quick "branch rules" test_branch_rules_same_optimum;
+          quick "primal heuristic" test_primal_heuristic_adopted;
+        ] );
+      ("model", [ quick "bookkeeping" test_model_bookkeeping ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_knapsack_matches_brute_force ] );
+    ]

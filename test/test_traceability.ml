@@ -1,0 +1,132 @@
+(* A hand-built network whose first hidden neuron copies feature 0 and
+   whose second negates feature 1 — traceability must recover this. *)
+let crafted_net () =
+  let w0 =
+    Linalg.Mat.of_rows
+      [| [| 1.0; 0.0; 0.0 |]; [| 0.0; -1.0; 0.0 |]; [| 0.0; 0.0; 0.3 |] |]
+  in
+  let l0 = Nn.Layer.make w0 (Linalg.Vec.zeros 3) Nn.Activation.Relu in
+  let w1 = Linalg.Mat.of_rows [| [| 1.0; 1.0; 1.0 |] |] in
+  let l1 = Nn.Layer.make w1 (Linalg.Vec.zeros 1) Nn.Activation.Identity in
+  Nn.Network.make [| l0; l1 |]
+
+let probes n =
+  let rng = Linalg.Rng.create 5 in
+  Array.init n (fun _ -> Array.init 3 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+
+let test_recovers_copied_feature () =
+  let net = crafted_net () in
+  let t = Traceability.Analysis.analyze ~top_k:1 net (probes 500) in
+  let neuron0 = t.Traceability.Analysis.profiles.(0) in
+  (match neuron0.Traceability.Analysis.top with
+   | [ a ] ->
+       Alcotest.(check int) "neuron 0 traces to feature 0" 0
+         a.Traceability.Analysis.feature;
+       Alcotest.(check bool) "strong positive correlation" true
+         (a.Traceability.Analysis.correlation > 0.9)
+   | _ -> Alcotest.fail "expected exactly one association");
+  let neuron1 = t.Traceability.Analysis.profiles.(1) in
+  match neuron1.Traceability.Analysis.top with
+  | [ a ] ->
+      Alcotest.(check int) "neuron 1 traces to feature 1" 1
+        a.Traceability.Analysis.feature;
+      Alcotest.(check bool) "strong negative correlation" true
+        (a.Traceability.Analysis.correlation < -0.9)
+  | _ -> Alcotest.fail "expected exactly one association"
+
+let test_activation_rates () =
+  let net = crafted_net () in
+  let t = Traceability.Analysis.analyze net (probes 1000) in
+  (* Feature 0 uniform in [-1,1]: neuron 0 active about half the time. *)
+  let rate = t.Traceability.Analysis.profiles.(0).Traceability.Analysis.activation_rate in
+  Alcotest.(check bool) "about half active" true (rate > 0.4 && rate < 0.6)
+
+let test_dead_and_saturated () =
+  (* Neuron with huge negative bias never fires; huge positive always. *)
+  let w = Linalg.Mat.of_rows [| [| 1.0 |]; [| 1.0 |] |] in
+  let l0 = Nn.Layer.make w [| -100.0; 100.0 |] Nn.Activation.Relu in
+  let l1 =
+    Nn.Layer.make (Linalg.Mat.of_rows [| [| 1.0; 1.0 |] |]) [| 0.0 |]
+      Nn.Activation.Identity
+  in
+  let net = Nn.Network.make [| l0; l1 |] in
+  let rng = Linalg.Rng.create 6 in
+  let xs = Array.init 100 (fun _ -> [| Linalg.Rng.uniform rng (-1.0) 1.0 |]) in
+  let t = Traceability.Analysis.analyze net xs in
+  Alcotest.(check (list (pair int int))) "dead" [ (0, 0) ] t.Traceability.Analysis.dead;
+  Alcotest.(check (list (pair int int))) "saturated" [ (0, 1) ]
+    t.Traceability.Analysis.saturated
+
+let test_binary_feature_lift () =
+  (* Binary feature 0 gates the neuron: lift should be large. *)
+  let w = Linalg.Mat.of_rows [| [| 5.0; 0.1 |] |] in
+  let l0 = Nn.Layer.make w [| -2.5 |] Nn.Activation.Relu in
+  let l1 =
+    Nn.Layer.make (Linalg.Mat.of_rows [| [| 1.0 |] |]) [| 0.0 |]
+      Nn.Activation.Identity
+  in
+  let net = Nn.Network.make [| l0; l1 |] in
+  let rng = Linalg.Rng.create 7 in
+  let xs =
+    Array.init 400 (fun i ->
+        [| (if i mod 2 = 0 then 1.0 else 0.0); Linalg.Rng.uniform rng (-1.0) 1.0 |])
+  in
+  let t = Traceability.Analysis.analyze ~top_k:1 net xs in
+  match t.Traceability.Analysis.profiles.(0).Traceability.Analysis.top with
+  | [ a ] -> (
+      Alcotest.(check int) "feature 0" 0 a.Traceability.Analysis.feature;
+      match a.Traceability.Analysis.lift with
+      | Some l -> Alcotest.(check bool) "high lift" true (l > 5.0)
+      | None -> Alcotest.fail "expected a lift for a binary feature")
+  | _ -> Alcotest.fail "expected one association"
+
+let test_traceable_fraction_crafted () =
+  let net = crafted_net () in
+  let t = Traceability.Analysis.analyze net (probes 500) in
+  Alcotest.(check bool) "all live neurons traceable" true
+    (Traceability.Analysis.traceable_fraction t > 0.99)
+
+let test_feature_names_used () =
+  let net = crafted_net () in
+  let names = [| "speed"; "gap"; "accel" |] in
+  let t = Traceability.Analysis.analyze ~feature_names:names net (probes 100) in
+  let a = List.hd t.Traceability.Analysis.profiles.(0).Traceability.Analysis.top in
+  Alcotest.(check string) "named" "speed" a.Traceability.Analysis.feature_name
+
+let test_validation () =
+  let net = crafted_net () in
+  Alcotest.(check bool) "empty probes" true
+    (try
+       ignore (Traceability.Analysis.analyze net [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad names length" true
+    (try
+       ignore
+         (Traceability.Analysis.analyze ~feature_names:[| "a" |] net (probes 10));
+       false
+     with Invalid_argument _ -> true)
+
+let test_render () =
+  let net = crafted_net () in
+  let t = Traceability.Analysis.analyze net (probes 100) in
+  let s = Traceability.Analysis.render t in
+  Alcotest.(check bool) "mentions probes" true (String.length s > 40);
+  Alcotest.(check bool) "has neuron lines" true (String.contains s 'L')
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "traceability"
+    [
+      ( "analysis",
+        [
+          quick "recovers copied feature" test_recovers_copied_feature;
+          quick "activation rates" test_activation_rates;
+          quick "dead/saturated" test_dead_and_saturated;
+          quick "binary lift" test_binary_feature_lift;
+          quick "traceable fraction" test_traceable_fraction_crafted;
+          quick "feature names" test_feature_names_used;
+          quick "validation" test_validation;
+          quick "render" test_render;
+        ] );
+    ]

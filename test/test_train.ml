@@ -1,0 +1,363 @@
+(* {1 Backprop vs finite differences} *)
+
+let check_all_gradients net loss x target tolerance =
+  let _, grads = Train.Backprop.gradient net ~loss ~x ~target in
+  for li = 0 to Nn.Network.num_layers net - 1 do
+    let layer = Nn.Network.layer net li in
+    for r = 0 to Nn.Layer.output_dim layer - 1 do
+      for c = -1 to Nn.Layer.input_dim layer - 1 do
+        let analytic =
+          if c >= 0 then Linalg.Mat.get grads.Train.Backprop.dw.(li) r c
+          else grads.Train.Backprop.db.(li).(r)
+        in
+        let numeric =
+          Train.Backprop.numeric_gradient net ~loss ~x ~target ~layer:li ~row:r
+            ~col:c ~eps:1e-5
+        in
+        if Float.abs (numeric -. analytic) > tolerance *. (1.0 +. Float.abs numeric)
+        then
+          Alcotest.failf "layer %d (%d,%d): analytic %g vs numeric %g" li r c
+            analytic numeric
+      done
+    done
+  done
+
+let test_backprop_mse_tanh () =
+  let rng = Linalg.Rng.create 1 in
+  let net =
+    Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Tanh [ 3; 5; 2 ]
+  in
+  check_all_gradients net Train.Loss.Mse [| 0.2; -0.4; 0.7 |] [| 0.5; -0.1 |] 1e-4
+
+let test_backprop_mse_sigmoid () =
+  let rng = Linalg.Rng.create 2 in
+  let net =
+    Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Sigmoid [ 4; 6; 3 ]
+  in
+  check_all_gradients net Train.Loss.Mse [| 0.1; 0.2; 0.3; -0.5 |]
+    [| 0.0; 1.0; -1.0 |] 1e-4
+
+let test_backprop_mdn () =
+  let rng = Linalg.Rng.create 3 in
+  let net =
+    Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Tanh [ 3; 6; 10 ]
+  in
+  check_all_gradients net
+    (Train.Loss.Mdn { components = 2 })
+    [| 0.3; -0.1; 0.6 |] [| 0.8; -0.4 |] 1e-3
+
+let prop_backprop_relu_random =
+  (* ReLU gradients are exact except on the measure-zero kink; finite
+     differences agree away from it. *)
+  QCheck.Test.make ~name:"relu backprop matches finite diff" ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let net = Nn.Network.create ~rng [ 3; 4; 4; 2 ] in
+      let x = Array.init 3 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0) in
+      let target = Array.init 2 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0) in
+      let trace = Nn.Network.forward_trace net x in
+      let near_kink =
+        Array.exists
+          (fun pre -> Array.exists (fun z -> Float.abs z < 1e-3) pre)
+          trace.Nn.Network.pre
+      in
+      if near_kink then true
+      else begin
+      let _, grads = Train.Backprop.gradient net ~loss:Train.Loss.Mse ~x ~target in
+      let ok = ref true in
+      for li = 0 to Nn.Network.num_layers net - 1 do
+        let layer = Nn.Network.layer net li in
+        for r = 0 to Nn.Layer.output_dim layer - 1 do
+          let analytic = grads.Train.Backprop.db.(li).(r) in
+          let numeric =
+            Train.Backprop.numeric_gradient net ~loss:Train.Loss.Mse ~x ~target
+              ~layer:li ~row:r ~col:(-1) ~eps:1e-6
+          in
+          if Float.abs (numeric -. analytic) > 1e-3 *. (1.0 +. Float.abs numeric)
+          then ok := false
+        done
+      done;
+      !ok
+      end)
+
+(* {1 Grads plumbing} *)
+
+let test_grads_accumulate_scale_norm () =
+  let rng = Linalg.Rng.create 4 in
+  let net = Nn.Network.create ~rng [ 2; 3; 1 ] in
+  let x = [| 0.5; -0.5 |] and target = [| 0.3 |] in
+  let _, g1 = Train.Backprop.gradient net ~loss:Train.Loss.Mse ~x ~target in
+  let acc = Train.Backprop.zero_like net in
+  Train.Backprop.accumulate acc g1;
+  Train.Backprop.accumulate acc g1;
+  Train.Backprop.scale_in_place acc 0.5;
+  (* acc should now equal g1 *)
+  Alcotest.(check (float 1e-9)) "accumulate+scale = identity"
+    (Train.Backprop.global_norm g1)
+    (Train.Backprop.global_norm acc);
+  Alcotest.(check (float 1e-12)) "zero grads have zero norm" 0.0
+    (Train.Backprop.global_norm (Train.Backprop.zero_like net))
+
+(* {1 Optimizers} *)
+
+let fit_line optimizer epochs =
+  (* Learn y = 2x - 1 with a linear network. *)
+  let rng = Linalg.Rng.create 5 in
+  let net =
+    Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Identity [ 1; 1 ]
+  in
+  let samples =
+    Array.init 64 (fun i ->
+        let x = (float_of_int i /. 32.0) -. 1.0 in
+        ([| x |], [| (2.0 *. x) -. 1.0 |]))
+  in
+  let config =
+    {
+      (Train.Trainer.default ()) with
+      Train.Trainer.epochs;
+      batch_size = 8;
+      optimizer;
+      clip_norm = None;
+    }
+  in
+  let history = Train.Trainer.fit config net samples () in
+  (net, history, samples)
+
+let test_sgd_learns_line () =
+  let net, history, samples = fit_line (Train.Optimizer.sgd ~momentum:0.9 0.05) 200 in
+  let final = Train.Trainer.mean_loss Train.Loss.Mse net samples in
+  Alcotest.(check bool) "loss small" true (final < 1e-3);
+  Alcotest.(check bool) "loss decreased" true
+    (history.Train.Trainer.train_loss.(0) > final)
+
+let test_adam_learns_line () =
+  let net, _, samples = fit_line (Train.Optimizer.adam 0.05) 200 in
+  let final = Train.Trainer.mean_loss Train.Loss.Mse net samples in
+  Alcotest.(check bool) "loss small" true (final < 1e-3)
+
+let test_adam_beats_initial_on_nonlinear () =
+  let rng = Linalg.Rng.create 6 in
+  let net = Nn.Network.create ~rng [ 2; 8; 8; 1 ] in
+  let data_rng = Linalg.Rng.create 7 in
+  let samples =
+    Array.init 256 (fun _ ->
+        let a = Linalg.Rng.uniform data_rng (-1.0) 1.0 in
+        let b = Linalg.Rng.uniform data_rng (-1.0) 1.0 in
+        ([| a; b |], [| a *. b |]))
+  in
+  let before = Train.Trainer.mean_loss Train.Loss.Mse net samples in
+  let config =
+    { (Train.Trainer.default ()) with Train.Trainer.epochs = 60; batch_size = 32 }
+  in
+  let history = Train.Trainer.fit config net samples () in
+  let after = Train.Trainer.mean_loss Train.Loss.Mse net samples in
+  Alcotest.(check bool) "improved 10x" true (after < before /. 10.0);
+  Alcotest.(check int) "history length" 60
+    (Array.length history.Train.Trainer.train_loss)
+
+(* {1 Trainer mechanics} *)
+
+let test_trainer_rejects_empty () =
+  let rng = Linalg.Rng.create 8 in
+  let net = Nn.Network.create ~rng [ 1; 1 ] in
+  Alcotest.check_raises "empty" (Invalid_argument "Trainer.fit: empty training set")
+    (fun () -> ignore (Train.Trainer.fit (Train.Trainer.default ()) net [||] ()))
+
+let test_early_stopping () =
+  let rng = Linalg.Rng.create 9 in
+  let net = Nn.Network.create ~rng [ 1; 4; 1 ] in
+  let samples = Array.init 16 (fun i -> ([| float_of_int i /. 16.0 |], [| 0.5 |])) in
+  (* Validation the model cannot fit: its loss stops improving quickly. *)
+  let noise = Linalg.Rng.create 99 in
+  let validation =
+    Array.init 16 (fun _ ->
+        ([| Linalg.Rng.uniform noise (-1.0) 1.0 |],
+         [| Linalg.Rng.uniform noise (-5.0) 5.0 |]))
+  in
+  let config =
+    {
+      (Train.Trainer.default ()) with
+      Train.Trainer.epochs = 500;
+      early_stopping_patience = Some 3;
+    }
+  in
+  let history = Train.Trainer.fit config net samples ~validation () in
+  Alcotest.(check bool) "stopped before 500" true
+    (history.Train.Trainer.epochs_run < 500);
+  Alcotest.(check int) "val history matches epochs"
+    history.Train.Trainer.epochs_run
+    (Array.length history.Train.Trainer.val_loss)
+
+let test_mdn_training_improves_nll () =
+  let rng = Linalg.Rng.create 10 in
+  let components = 2 in
+  let net =
+    Nn.Network.create ~rng [ 2; 8; Nn.Gmm.output_dim ~components ]
+  in
+  let data_rng = Linalg.Rng.create 11 in
+  let samples =
+    Array.init 200 (fun _ ->
+        let x = Linalg.Rng.uniform data_rng (-1.0) 1.0 in
+        let y = Linalg.Rng.uniform data_rng (-1.0) 1.0 in
+        (* Deterministic action depending on inputs. *)
+        ([| x; y |], [| 0.8 *. x; -0.5 *. y |]))
+  in
+  let loss = Train.Loss.Mdn { components } in
+  let before = Train.Trainer.mean_loss loss net samples in
+  let config =
+    { (Train.Trainer.default ~loss ()) with Train.Trainer.epochs = 40 }
+  in
+  ignore (Train.Trainer.fit config net samples ());
+  let after = Train.Trainer.mean_loss loss net samples in
+  Alcotest.(check bool) "NLL decreased" true (after < before -. 0.3)
+
+(* {1 Safety hints (Sec. IV(iii))} *)
+
+let hint_for_tests =
+  {
+    Train.Hint.weight = 2.0;
+    limit = 0.5;
+    gate_feature = 0;
+    outputs = [ 1 ];
+  }
+
+let test_hint_gate_off () =
+  let v, g =
+    Train.Hint.penalty_and_grad hint_for_tests ~input:[| 0.0; 0.0 |]
+      ~prediction:[| 0.0; 5.0 |]
+  in
+  Alcotest.(check (float 0.0)) "no penalty when gate off" 0.0 v;
+  Alcotest.(check (float 0.0)) "no gradient" 0.0 g.(1)
+
+let test_hint_gate_on () =
+  let v, g =
+    Train.Hint.penalty_and_grad hint_for_tests ~input:[| 1.0; 0.0 |]
+      ~prediction:[| 0.0; 1.5 |]
+  in
+  (* excess 1.0 -> penalty 2*1 = 2, grad 2*2*1 = 4 *)
+  Alcotest.(check (float 1e-9)) "penalty" 2.0 v;
+  Alcotest.(check (float 1e-9)) "gradient" 4.0 g.(1);
+  Alcotest.(check (float 0.0)) "other outputs untouched" 0.0 g.(0)
+
+let test_hint_below_limit_free () =
+  let v, _ =
+    Train.Hint.penalty_and_grad hint_for_tests ~input:[| 1.0; 0.0 |]
+      ~prediction:[| 0.0; 0.4 |]
+  in
+  Alcotest.(check (float 0.0)) "no penalty below limit" 0.0 v
+
+let test_hint_left_safety_layout () =
+  let h = Train.Hint.left_safety ~components:3 () in
+  Alcotest.(check int) "gates on left presence"
+    (Highway.Features.orientation_base Highway.Orientation.Left
+     + Highway.Features.presence_offset)
+    h.Train.Hint.gate_feature;
+  Alcotest.(check (list int)) "limits the lateral means"
+    [ Nn.Gmm.mu_lat_index ~components:3 0;
+      Nn.Gmm.mu_lat_index ~components:3 1;
+      Nn.Gmm.mu_lat_index ~components:3 2 ]
+    h.Train.Hint.outputs
+
+let test_hint_training_suppresses_output () =
+  (* Data says "output 5 when gated"; the hint says "stay below 0.5 when
+     gated". Hinted training must land well below unhinted training. *)
+  let make_samples () =
+    Array.init 64 (fun i ->
+        let gate = if i mod 2 = 0 then 1.0 else 0.0 in
+        ([| gate; 0.3 |], [| (if gate = 1.0 then 5.0 else 0.2); 0.0 |]))
+  in
+  let train hint =
+    let rng = Linalg.Rng.create 21 in
+    let net = Nn.Network.create ~rng [ 2; 8; 2 ] in
+    let config =
+      {
+        (Train.Trainer.default ()) with
+        Train.Trainer.epochs = 250;
+        optimizer = Train.Optimizer.adam 0.01;
+        hint;
+      }
+    in
+    ignore (Train.Trainer.fit config net (make_samples ()) ());
+    (Nn.Network.forward net [| 1.0; 0.3 |]).(0)
+  in
+  let plain = train None in
+  let hinted =
+    train
+      (Some { Train.Hint.weight = 10.0; limit = 0.5; gate_feature = 0; outputs = [ 0 ] })
+  in
+  Alcotest.(check bool) "plain tracks the data" true (plain > 3.0);
+  Alcotest.(check bool) "hint suppresses the unsafe output" true (hinted < plain /. 2.0)
+
+let test_loss_names () =
+  Alcotest.(check string) "mse" "mse" (Train.Loss.name Train.Loss.Mse);
+  Alcotest.(check string) "mdn" "mdn-3"
+    (Train.Loss.name (Train.Loss.Mdn { components = 3 }))
+
+let test_loss_mse_known () =
+  let v, g =
+    Train.Loss.value_and_grad Train.Loss.Mse ~prediction:[| 1.0; 2.0 |]
+      ~target:[| 0.0; 0.0 |]
+  in
+  Alcotest.(check (float 1e-9)) "value" 2.5 v;
+  Alcotest.(check (float 1e-9)) "grad 0" 1.0 g.(0);
+  Alcotest.(check (float 1e-9)) "grad 1" 2.0 g.(1)
+
+let test_loss_dimension_checks () =
+  Alcotest.(check bool) "mse mismatch" true
+    (try
+       ignore
+         (Train.Loss.value_and_grad Train.Loss.Mse ~prediction:[| 1.0 |]
+            ~target:[| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mdn target dim" true
+    (try
+       ignore
+         (Train.Loss.value_and_grad
+            (Train.Loss.Mdn { components = 1 })
+            ~prediction:(Array.make 5 0.0) ~target:[| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "train"
+    [
+      ( "backprop",
+        [
+          quick "mse tanh" test_backprop_mse_tanh;
+          quick "mse sigmoid" test_backprop_mse_sigmoid;
+          quick "mdn" test_backprop_mdn;
+          quick "grads plumbing" test_grads_accumulate_scale_norm;
+        ] );
+      ( "optimizer",
+        [
+          slow "sgd learns line" test_sgd_learns_line;
+          slow "adam learns line" test_adam_learns_line;
+          slow "adam nonlinear" test_adam_beats_initial_on_nonlinear;
+        ] );
+      ( "trainer",
+        [
+          quick "rejects empty" test_trainer_rejects_empty;
+          slow "early stopping" test_early_stopping;
+          slow "mdn improves" test_mdn_training_improves_nll;
+        ] );
+      ( "loss",
+        [
+          quick "names" test_loss_names;
+          quick "mse known" test_loss_mse_known;
+          quick "dimension checks" test_loss_dimension_checks;
+        ] );
+      ( "hint",
+        [
+          quick "gate off" test_hint_gate_off;
+          quick "gate on" test_hint_gate_on;
+          quick "below limit" test_hint_below_limit_free;
+          quick "left safety layout" test_hint_left_safety_layout;
+          slow "training suppresses output" test_hint_training_suppresses_output;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_backprop_relu_random ] );
+    ]

@@ -1,0 +1,248 @@
+let small_net seed dims =
+  let rng = Linalg.Rng.create seed in
+  Nn.Network.create ~rng dims
+
+let box dim radius = Array.make dim (Interval.make (-.radius) radius)
+
+(* A miniature "predictor": 6 inputs, 2 hidden layers, GMM head with 2
+   components (10 outputs). Fast enough to verify exactly in tests. *)
+let mini_predictor seed =
+  small_net seed [ 6; 8; 8; Nn.Gmm.output_dim ~components:2 ]
+
+(* {1 Property} *)
+
+let test_property_output_indices () =
+  Alcotest.(check (list int)) "maximize" [ 3 ]
+    (Verify.Property.output_indices ~components:2 (Verify.Property.Maximize_output 3));
+  Alcotest.(check (list int)) "lat velocity components" [ 2; 3 ]
+    (Verify.Property.output_indices ~components:2
+       (Verify.Property.Max_lateral_velocity { components = 2 }));
+  let p =
+    Verify.Property.make ~name:"test" ~box:(box 3 1.0)
+      (Verify.Property.Output_le { output = 0; threshold = 1.0 })
+  in
+  Alcotest.(check string) "name kept" "test" p.Verify.Property.name
+
+let test_property_pp () =
+  let s =
+    Format.asprintf "%a" Verify.Property.pp_query
+      (Verify.Property.Lateral_velocity_le { components = 3; threshold = 3.0 })
+  in
+  Alcotest.(check bool) "mentions threshold" true
+    (String.length s > 0)
+
+(* {1 Scenario} *)
+
+let test_scenario_vehicle_on_left_pins_presence () =
+  let sbox = Verify.Scenario.vehicle_on_left () in
+  Alcotest.(check int) "dimension" 84 (Array.length sbox);
+  let left = Highway.Features.orientation_base Highway.Orientation.Left in
+  let presence = sbox.(left + Highway.Features.presence_offset) in
+  Alcotest.(check (float 0.0)) "presence pinned to 1" 1.0 presence.Interval.lo;
+  Alcotest.(check (float 0.0)) "presence pinned to 1 (hi)" 1.0 presence.Interval.hi;
+  (* Not in the leftmost lane. *)
+  let leftmost = sbox.(Highway.Features.road_is_leftmost) in
+  Alcotest.(check (float 0.0)) "not leftmost" 0.0 leftmost.Interval.hi
+
+let test_scenario_inside_domain () =
+  List.iter
+    (fun sbox ->
+      Array.iteri
+        (fun i iv ->
+          Alcotest.(check bool)
+            (Printf.sprintf "feature %d inside domain" i)
+            true
+            (Interval.subset iv Highway.Features.domain.(i)))
+        sbox)
+    [ Verify.Scenario.vehicle_on_left (); Verify.Scenario.free_left () ]
+
+let test_scenario_free_left_empty () =
+  let sbox = Verify.Scenario.free_left () in
+  let left = Highway.Features.orientation_base Highway.Orientation.Left in
+  let presence = sbox.(left + Highway.Features.presence_offset) in
+  Alcotest.(check (float 0.0)) "presence pinned to 0" 0.0 presence.Interval.hi
+
+let test_scenario_slack_monotone () =
+  let narrow = Verify.Scenario.vehicle_on_left ~slack:0.01 () in
+  let wide = Verify.Scenario.vehicle_on_left ~slack:0.2 () in
+  let total_width b =
+    Array.fold_left (fun acc iv -> acc +. Interval.width iv) 0.0 b
+  in
+  Alcotest.(check bool) "wider slack, wider box" true
+    (total_width wide > total_width narrow)
+
+let test_scenario_concretize () =
+  let sbox = Verify.Scenario.vehicle_on_left () in
+  let point = Interval.Box.center sbox in
+  let described = Verify.Scenario.concretize sbox point in
+  Alcotest.(check bool) "describes pinned features" true
+    (List.length described > 0);
+  Alcotest.(check bool) "includes left presence" true
+    (List.mem_assoc "left.present" described)
+
+(* {1 Driver} *)
+
+let test_maximize_output_optimal_and_sound () =
+  let net = small_net 31 [ 4; 6; 6; 3 ] in
+  let b0 = box 4 0.5 in
+  let r = Verify.Driver.maximize_output ~output:2 net b0 in
+  Alcotest.(check bool) "optimal" true r.Verify.Driver.optimal;
+  match r.Verify.Driver.value with
+  | None -> Alcotest.fail "expected a value"
+  | Some v ->
+      Alcotest.(check (float 1e-5)) "value = upper bound" v
+        r.Verify.Driver.upper_bound;
+      let rng = Linalg.Rng.create 32 in
+      let sampled, _ =
+        Verify.Driver.sampled_max_lateral_velocity ~rng ~samples:1 ~components:1
+          net b0
+      in
+      ignore sampled;
+      for _ = 1 to 5000 do
+        let x = Interval.Box.sample b0 rng in
+        let o = Nn.Network.forward net x in
+        if o.(2) > v +. 1e-5 then Alcotest.fail "sampling beat the verifier"
+      done
+
+let test_witness_replays () =
+  let net = small_net 33 [ 4; 6; 6; 3 ] in
+  let b0 = box 4 0.5 in
+  let r = Verify.Driver.maximize_output ~output:0 net b0 in
+  match r.Verify.Driver.witness with
+  | None -> Alcotest.fail "expected witness"
+  | Some w ->
+      Alcotest.(check bool) "witness in box" true
+        (Interval.Box.contains b0 w.Verify.Driver.input);
+      let out = Nn.Network.forward net w.Verify.Driver.input in
+      Alcotest.(check (float 1e-6)) "outputs replay" out.(0)
+        w.Verify.Driver.achieved;
+      (match r.Verify.Driver.value with
+       | Some v ->
+           Alcotest.(check (float 1e-4)) "achieved matches milp" v
+             w.Verify.Driver.achieved
+       | None -> Alcotest.fail "value missing")
+
+let test_max_lateral_velocity_components () =
+  let net = mini_predictor 34 in
+  let b0 = box 6 0.4 in
+  let r = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  Alcotest.(check bool) "optimal" true r.Verify.Driver.optimal;
+  match r.Verify.Driver.value with
+  | None -> Alcotest.fail "expected value"
+  | Some v ->
+      (* Exhaustive sampling of the mixture component means must stay
+         below the verified maximum. *)
+      let rng = Linalg.Rng.create 35 in
+      let sampled, _ =
+        Verify.Driver.sampled_max_lateral_velocity ~rng ~samples:5000
+          ~components:2 net b0
+      in
+      Alcotest.(check bool) "sampled <= verified" true (sampled <= v +. 1e-5);
+      Alcotest.(check bool) "verified is reachable-ish" true
+        (sampled >= v -. 1.0)
+
+let test_sampled_max_bounded_by_upper () =
+  let net = mini_predictor 36 in
+  let b0 = box 6 0.3 in
+  let r = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  let rng = Linalg.Rng.create 37 in
+  let sampled, input =
+    Verify.Driver.sampled_max_lateral_velocity ~rng ~samples:2000 ~components:2
+      net b0
+  in
+  Alcotest.(check bool) "within bound" true
+    (sampled <= r.Verify.Driver.upper_bound +. 1e-5);
+  Alcotest.(check bool) "witness input in box" true
+    (Interval.Box.contains b0 input)
+
+let test_prove_trivial_threshold () =
+  let net = mini_predictor 38 in
+  let b0 = box 6 0.3 in
+  (* First compute the exact max, then ask to prove a bound above it. *)
+  let r = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  let v = Option.get r.Verify.Driver.value in
+  let proof =
+    Verify.Driver.prove_lateral_velocity_le ~components:2
+      ~threshold:(v +. 0.5) net b0
+  in
+  (match proof.Verify.Driver.proof with
+   | Verify.Driver.Proved -> ()
+   | Verify.Driver.Disproved _ -> Alcotest.fail "threshold above max disproved?"
+   | Verify.Driver.Unknown _ -> Alcotest.fail "should have concluded");
+  Alcotest.(check bool) "nodes counted" true (proof.Verify.Driver.proof_nodes >= 0)
+
+let test_prove_violated_threshold_gives_witness () =
+  let net = mini_predictor 39 in
+  let b0 = box 6 0.3 in
+  let r = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  let v = Option.get r.Verify.Driver.value in
+  let proof =
+    Verify.Driver.prove_lateral_velocity_le ~components:2
+      ~threshold:(v -. 0.2) net b0
+  in
+  match proof.Verify.Driver.proof with
+  | Verify.Driver.Disproved w ->
+      Alcotest.(check bool) "witness beats threshold" true
+        (w.Verify.Driver.achieved > v -. 0.2);
+      Alcotest.(check bool) "witness in box" true
+        (Interval.Box.contains b0 w.Verify.Driver.input)
+  | Verify.Driver.Proved -> Alcotest.fail "impossible: threshold below max proved"
+  | Verify.Driver.Unknown _ -> Alcotest.fail "should have found a violation"
+
+let test_proof_cheaper_than_max () =
+  (* The paper's observation: deciding "lat <= loose bound" explores
+     fewer nodes than computing the exact maximum. *)
+  let net = mini_predictor 40 in
+  let b0 = box 6 0.5 in
+  let r = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  let v = Option.get r.Verify.Driver.value in
+  let proof =
+    Verify.Driver.prove_lateral_velocity_le ~components:2
+      ~threshold:(v +. 2.0) net b0
+  in
+  Alcotest.(check bool) "proved" true
+    (proof.Verify.Driver.proof = Verify.Driver.Proved);
+  Alcotest.(check bool) "fewer or equal nodes" true
+    (proof.Verify.Driver.proof_nodes <= r.Verify.Driver.nodes)
+
+let test_time_limit_respected () =
+  let net = small_net 41 [ 8; 16; 16; 16; 4 ] in
+  let b0 = box 8 1.0 in
+  let t0 = Unix.gettimeofday () in
+  let r = Verify.Driver.maximize_output ~time_limit:1.0 ~output:0 net b0 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Allow generous slack for the encoding and final LP solve. *)
+  Alcotest.(check bool) "returns promptly" true (elapsed < 20.0);
+  Alcotest.(check bool) "flagged or solved" true
+    (r.Verify.Driver.timed_out || r.Verify.Driver.optimal)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "verify"
+    [
+      ( "property",
+        [
+          quick "output indices" test_property_output_indices;
+          quick "pp" test_property_pp;
+        ] );
+      ( "scenario",
+        [
+          quick "pins presence" test_scenario_vehicle_on_left_pins_presence;
+          quick "inside domain" test_scenario_inside_domain;
+          quick "free left" test_scenario_free_left_empty;
+          quick "slack monotone" test_scenario_slack_monotone;
+          quick "concretize" test_scenario_concretize;
+        ] );
+      ( "driver",
+        [
+          slow "maximize sound" test_maximize_output_optimal_and_sound;
+          slow "witness replays" test_witness_replays;
+          slow "components" test_max_lateral_velocity_components;
+          slow "sampled bounded" test_sampled_max_bounded_by_upper;
+          slow "prove trivial" test_prove_trivial_threshold;
+          slow "prove violated" test_prove_violated_threshold_gives_witness;
+          slow "proof cheaper" test_proof_cheaper_than_max;
+          slow "time limit" test_time_limit_respected;
+        ] );
+    ]
