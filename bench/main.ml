@@ -8,17 +8,24 @@
      dune exec bench/main.exe ablation   -- encoder/solver ablations
      dune exec bench/main.exe micro      -- Bechamel microbenchmarks
 
+   [micro --json] additionally writes the ns/run numbers to
+   BENCH_milp.json so successive PRs can track the perf trajectory.
+
    Environment knobs:
      DEPNN_TIME_LIMIT   per-verification wall-clock seconds (default 45)
      DEPNN_WIDTHS       comma-separated Table II widths (default
                         10,20,25,40,50,60)
      DEPNN_SAMPLES      training scenes (default 1500)
-     DEPNN_EPOCHS       training epochs (default 15) *)
+     DEPNN_EPOCHS       training epochs (default 15)
+     DEPNN_CORES        worker domains for OBBT + branch & bound
+                        (default 1; the paper used a 12-core VM) *)
 
 let time_limit =
   match Sys.getenv_opt "DEPNN_TIME_LIMIT" with
   | Some s -> float_of_string s
   | None -> 45.0
+
+let cores = Milp.Parallel.cores_of_env ()
 
 let widths =
   match Sys.getenv_opt "DEPNN_WIDTHS" with
@@ -101,6 +108,7 @@ let table1 () =
       Pipeline.n_samples = min n_samples 1200;
       epochs = min epochs 15;
       verify_time_limit = time_limit;
+      verify_cores = cores;
       scenario_slack;
     }
   in
@@ -114,8 +122,11 @@ let table2 () =
   heading "Table II: verifying ANN-based motion predictors";
   Printf.printf
     "property: maximum lateral velocity when a vehicle is on the left\n";
-  Printf.printf "per-network time limit: %.0fs (paper ran unbounded on a 12-core VM)\n\n"
+  Printf.printf "per-network time limit: %.0fs (paper ran unbounded on a 12-core VM)\n"
     time_limit;
+  Printf.printf "solver cores: %d (DEPNN_CORES; %d recommended on this host)\n\n"
+    cores
+    (Milp.Parallel.available_cores ());
   Printf.printf "%-8s %-10s %-22s %-12s %-8s %s\n" "ANN" "binaries"
     "max lateral velocity" "time" "nodes" "status";
   let rows =
@@ -123,7 +134,7 @@ let table2 () =
       (fun width ->
         let net = train_width width in
         let r =
-          Verify.Driver.max_lateral_velocity ~time_limit ~components net
+          Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components net
             (Lazy.force scenario)
         in
         let value_text =
@@ -149,7 +160,7 @@ let table2 () =
   let widest = List.fold_left max 0 widths in
   let net = train_width widest in
   let proof =
-    Verify.Driver.prove_lateral_velocity_le ~time_limit ~components
+    Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ~components
       ~threshold:3.0 net (Lazy.force scenario)
   in
   let text =
@@ -322,7 +333,7 @@ let ablation () =
 
 (* {1 Bechamel micro-benchmarks} *)
 
-let micro () =
+let micro ?(json = false) () =
   heading "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let rng = Linalg.Rng.create 1 in
@@ -346,6 +357,17 @@ let micro () =
       vars;
     p
   in
+  (* Node-evaluation microbenchmark: the branch & bound hot path is
+     "apply a node's bound chain to the root LP". Compare the historic
+     per-node [Problem.copy] against the journal (push/apply/pop) on a
+     real NN encoding with a depth-12 fix chain. *)
+  let enc = Encoding.Encoder.encode net box in
+  let enc_lp = Milp.Model.lp enc.Encoding.Encoder.model in
+  let node_fixes =
+    List.filteri (fun i _ -> i < 12) enc.Encoding.Encoder.binaries
+    |> List.mapi (fun i (v, _, _) ->
+           if i mod 2 = 0 then (v, 0.0, 0.0) else (v, 1.0, 1.0))
+  in
   let tests =
     [
       Test.make ~name:"forward pass I4x20" (Staged.stage (fun () -> Nn.Network.forward net x));
@@ -357,6 +379,19 @@ let micro () =
         (Staged.stage (fun () -> Lp.Simplex.solve (Lp.Problem.copy lp)));
       Test.make ~name:"simulator step (57 vehicles)"
         (Staged.stage (fun () -> Highway.Simulator.step sim ~dt:0.2 ()));
+      Test.make ~name:"node-eval copy (depth 12)"
+        (Staged.stage (fun () ->
+             let p = Lp.Problem.copy enc_lp in
+             List.iter
+               (fun (v, lo, hi) -> Lp.Problem.set_bounds p v ~lo ~hi)
+               node_fixes));
+      Test.make ~name:"node-eval journal (depth 12)"
+        (Staged.stage (fun () ->
+             Lp.Problem.push_bounds enc_lp;
+             List.iter
+               (fun (v, lo, hi) -> Lp.Problem.set_bounds enc_lp v ~lo ~hi)
+               node_fixes;
+             Lp.Problem.pop_bounds enc_lp));
     ]
   in
   let benchmark test =
@@ -367,18 +402,61 @@ let micro () =
       Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
     in
     let results = Analyze.all ols instance raw in
-    Hashtbl.iter
-      (fun name result ->
+    Hashtbl.fold
+      (fun name result acc ->
         match Analyze.OLS.estimates result with
         | Some [ nanoseconds ] ->
-            Printf.printf "%-32s %12.1f ns/run\n" name nanoseconds
-        | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
-      results
+            Printf.printf "%-32s %12.1f ns/run\n" name nanoseconds;
+            (name, nanoseconds) :: acc
+        | Some _ | None ->
+            Printf.printf "%-32s (no estimate)\n" name;
+            acc)
+      results []
   in
-  List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests
+  let measured =
+    List.concat_map
+      (fun t -> benchmark (Test.make_grouped ~name:"" [ t ]))
+      tests
+  in
+  (match
+     ( List.assoc_opt "/node-eval copy (depth 12)" measured,
+       List.assoc_opt "/node-eval journal (depth 12)" measured )
+   with
+   | Some copy_ns, Some journal_ns when journal_ns > 0.0 ->
+       Printf.printf
+         "\nnode-eval: journal-based setup is %.1fx faster than per-node copy\n"
+         (copy_ns /. journal_ns)
+   | _ -> ());
+  if json then begin
+    let oc = open_out "BENCH_milp.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let escape name =
+          String.concat "\\\"" (String.split_on_char '"' name)
+        in
+        Printf.fprintf oc "{\n  \"suite\": \"micro\",\n  \"unit\": \"ns/run\",\n";
+        Printf.fprintf oc "  \"cores_available\": %d,\n"
+          (Milp.Parallel.available_cores ());
+        Printf.fprintf oc "  \"results\": [\n";
+        List.iteri
+          (fun i (name, ns) ->
+            Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+              (escape name) ns
+              (if i = List.length measured - 1 then "" else ","))
+          measured;
+        Printf.fprintf oc "  ]\n}\n");
+    Printf.printf "wrote BENCH_milp.json (%d entries)\n" (List.length measured)
+  end
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  let mode =
+    match List.filter (fun a -> a <> "--json") args with
+    | m :: _ -> m
+    | [] -> "all"
+  in
   let t0 = Unix.gettimeofday () in
   (match mode with
    | "table1" -> table1 ()
@@ -386,14 +464,14 @@ let () =
    | "fig1" -> fig1 ()
    | "mcdc" -> mcdc ()
    | "ablation" -> ablation ()
-   | "micro" -> micro ()
+   | "micro" -> micro ~json ()
    | "all" ->
        table1 ();
        table2 ();
        fig1 ();
        mcdc ();
        ablation ();
-       micro ()
+       micro ~json ()
    | other ->
        Printf.eprintf
          "unknown mode %s (expected table1|table2|fig1|mcdc|ablation|micro|all)\n"

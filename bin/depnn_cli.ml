@@ -34,6 +34,14 @@ let width_arg =
 let epochs_arg =
   Arg.(value & opt int 20 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
 
+let cores_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cores" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the MILP verifier (bound tightening and \
+           branch & bound); 1 = sequential.")
+
 let components = 3
 
 let record ~seed ~samples ~risky =
@@ -123,12 +131,13 @@ let net_arg =
     & pos 0 (some file) None
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
-let verify net_path threshold time_limit slack =
+let verify net_path threshold time_limit slack cores =
   let net = Nn.Io.load net_path in
-  Printf.printf "verifying %s\n" (Nn.Network.describe net);
+  Printf.printf "verifying %s (%d core%s)\n" (Nn.Network.describe net) cores
+    (if cores = 1 then "" else "s");
   let box = Verify.Scenario.vehicle_on_left ~slack () in
   let r =
-    Verify.Driver.max_lateral_velocity ~time_limit ~components net box
+    Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components net box
   in
   (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
    | Some v, true ->
@@ -141,8 +150,8 @@ let verify net_path threshold time_limit slack =
   Printf.printf "%d unstable neurons, %d nodes, %.1fs\n"
     r.Verify.Driver.unstable_neurons r.Verify.Driver.nodes r.Verify.Driver.elapsed;
   let proof =
-    Verify.Driver.prove_lateral_velocity_le ~time_limit ~components ~threshold
-      net box
+    Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ~components
+      ~threshold net box
   in
   (match proof.Verify.Driver.proof with
    | Verify.Driver.Proved ->
@@ -175,7 +184,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
-    Term.(const verify $ net_arg $ threshold $ time_limit $ slack)
+    Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg)
 
 (* {1 trace} *)
 
@@ -227,12 +236,13 @@ let simulate_cmd =
 
 (* {1 certify} *)
 
-let certify seed width samples epochs =
+let certify seed width samples epochs cores =
   let config =
     {
       (Pipeline.default_config ~width ~seed ()) with
       Pipeline.n_samples = samples;
       epochs;
+      verify_cores = cores;
     }
   in
   let artifacts = Pipeline.run ~progress:print_endline config in
@@ -251,7 +261,8 @@ let certify seed width samples epochs =
 let certify_cmd =
   Cmd.v
     (Cmd.info "certify" ~doc:"Run the full three-pillar certification pipeline.")
-    Term.(const certify $ seed_arg $ width_arg $ samples_arg $ epochs_arg)
+    Term.(const certify $ seed_arg $ width_arg $ samples_arg $ epochs_arg
+          $ cores_arg)
 
 let () =
   let doc = "dependable neural networks for safety-critical applications" in

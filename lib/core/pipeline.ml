@@ -9,6 +9,7 @@ type config = {
   scenario_slack : float;
   threshold : float;
   verify_time_limit : float;
+  verify_cores : int;
 }
 
 let default_config ?(width = 10) ?(seed = 7) () =
@@ -23,6 +24,7 @@ let default_config ?(width = 10) ?(seed = 7) () =
     scenario_slack = 0.03;
     threshold = 1.5;
     verify_time_limit = 60.0;
+    verify_cores = 1;
   }
 
 type artifacts = {
@@ -83,12 +85,12 @@ let run ?(progress = fun _ -> ()) config =
   let scenario = Verify.Scenario.vehicle_on_left ~slack:config.scenario_slack () in
   let verification =
     Verify.Driver.max_lateral_velocity ~time_limit:config.verify_time_limit
-      ~components:config.components net scenario
+      ~cores:config.verify_cores ~components:config.components net scenario
   in
   let proof =
     Verify.Driver.prove_lateral_velocity_le
-      ~time_limit:config.verify_time_limit ~components:config.components
-      ~threshold:config.threshold net scenario
+      ~time_limit:config.verify_time_limit ~cores:config.verify_cores
+      ~components:config.components ~threshold:config.threshold net scenario
   in
   {
     used = config;

@@ -23,11 +23,13 @@ type config = {
   scenario_slack : float;   (** verification box slack, normalised units *)
   threshold : float;        (** lateral velocity limit, m/s *)
   verify_time_limit : float;  (** seconds, shared over GMM components *)
+  verify_cores : int;  (** worker domains for OBBT + branch & bound *)
 }
 
 val default_config : ?width:int -> ?seed:int -> unit -> config
 (** width 10, seed 7, 3 components, 1500 samples, 25% blind-spot rate,
-    30 epochs, slack 0.03, threshold 1.5 m/s, 60 s verification limit. *)
+    30 epochs, slack 0.03, threshold 1.5 m/s, 60 s verification limit,
+    1 verification core. *)
 
 type artifacts = {
   used : config;

@@ -141,11 +141,14 @@ let build net box (bounds : Bounds.t) =
    relaxation over-approximates the network's graph, so the refined
    bounds stay sound, while the tightened big-M constants both stabilise
    neurons outright and strengthen the relaxation the branch & bound
-   searches on. *)
-let refine_bounds_lp ?(budget = infinity) t net box =
+   searches on.
+
+   Probes are independent of one another (each only changes the private
+   copy's objective), so with [cores > 1] they fan out across a domain
+   pool; the shared model is never mutated. *)
+let refine_bounds_lp ?(budget = infinity) ?(cores = 1) t net box =
   let started = Unix.gettimeofday () in
   let lp = Milp.Model.lp t.model in
-  let original_objective = Lp.Problem.objective lp in
   let nlayers = Nn.Network.num_layers net in
   let pre = Array.map Array.copy t.bounds.Bounds.pre in
   (* Locate the z variables by their encoded names. *)
@@ -155,39 +158,46 @@ let refine_bounds_lp ?(budget = infinity) t net box =
     | [ "z"; li; r ] -> Hashtbl.replace z_var (int_of_string li, int_of_string r) v
     | _ -> ()
   done;
-  for li = 0 to nlayers - 2 do
+  let targets = ref [] in
+  for li = nlayers - 2 downto 0 do
     let layer = Nn.Network.layer net li in
     if layer.Nn.Layer.activation = Nn.Activation.Relu then
-      Array.iteri
-        (fun r (iv : Interval.t) ->
-          if
-            Bounds.relu_stability iv = Bounds.Unstable
-            && Unix.gettimeofday () -. started < budget
-          then begin
-            match Hashtbl.find_opt z_var (li, r) with
-            | None -> ()
-            | Some z ->
-                Lp.Problem.set_objective lp [ (z, 1.0) ];
-                let up = Lp.Simplex.solve lp in
-                let down = Lp.Simplex.solve_min lp in
-                (match (up.Lp.Simplex.status, down.Lp.Simplex.status) with
-                 | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
-                     let lo =
-                       Float.max iv.Interval.lo (down.Lp.Simplex.objective -. 1e-6)
-                     in
-                     let hi =
-                       Float.min iv.Interval.hi (up.Lp.Simplex.objective +. 1e-6)
-                     in
-                     if lo <= hi then pre.(li).(r) <- Interval.make lo hi
-                 | (Lp.Simplex.Optimal | Lp.Simplex.Infeasible
-                    | Lp.Simplex.Iteration_limit), _ ->
-                     ())
-          end)
-        pre.(li)
+      for r = Array.length pre.(li) - 1 downto 0 do
+        if Bounds.relu_stability pre.(li).(r) = Bounds.Unstable then
+          match Hashtbl.find_opt z_var (li, r) with
+          | Some z -> targets := (li, r, z) :: !targets
+          | None -> ()
+      done
   done;
-  let n = Lp.Problem.num_vars lp in
-  Lp.Problem.set_objective lp
-    (List.init n (fun v -> (v, original_objective.(v))));
+  let probe problem (li, r, z) =
+    if Unix.gettimeofday () -. started >= budget then None
+    else begin
+      Lp.Problem.set_objective problem [ (z, 1.0) ];
+      let up = Lp.Simplex.solve problem in
+      let down = Lp.Simplex.solve_min problem in
+      match (up.Lp.Simplex.status, down.Lp.Simplex.status) with
+      | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+          Some (li, r, down.Lp.Simplex.objective, up.Lp.Simplex.objective)
+      | (Lp.Simplex.Optimal | Lp.Simplex.Infeasible
+         | Lp.Simplex.Iteration_limit), _ ->
+          None
+    end
+  in
+  let refined =
+    Milp.Parallel.map ~cores
+      ~init:(fun () -> Lp.Problem.copy lp)
+      probe
+      (Array.of_list !targets)
+  in
+  Array.iter
+    (function
+      | Some (li, r, down_obj, up_obj) ->
+          let iv = pre.(li).(r) in
+          let lo = Float.max iv.Interval.lo (down_obj -. 1e-6) in
+          let hi = Float.min iv.Interval.hi (up_obj +. 1e-6) in
+          if lo <= hi then pre.(li).(r) <- Interval.make lo hi
+      | None -> ())
+    refined;
   (* Re-propagate forward, intersecting with the refined pre-bounds, so
      downstream layers benefit from upstream tightening. *)
   let post = Array.make nlayers [||] in
@@ -211,7 +221,7 @@ let refine_bounds_lp ?(budget = infinity) t net box =
   { Bounds.pre; post }
 
 let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
-    ?(tighten_budget = infinity) net box =
+    ?(tighten_budget = infinity) ?(cores = 1) net box =
   if Array.length box <> Nn.Network.input_dim net then
     invalid_arg "Encoder.encode: box dimension mismatch";
   let bounds =
@@ -235,7 +245,7 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
       let remaining = tighten_budget -. (Unix.gettimeofday () -. started) in
       if remaining <= 0.0 then t
       else begin
-        let refined = refine_bounds_lp ~budget:remaining t net box in
+        let refined = refine_bounds_lp ~budget:remaining ~cores t net box in
         tighten (rounds - 1) (build net box refined)
       end
     end

@@ -39,6 +39,7 @@ val encode :
   ?bound_mode:bound_mode ->
   ?tighten_rounds:int ->
   ?tighten_budget:float ->
+  ?cores:int ->
   Nn.Network.t ->
   Interval.Box.box ->
   t
@@ -54,7 +55,9 @@ val encode :
     strengthens the relaxation, at the cost of two LP solves per
     unstable neuron. [tighten_budget] caps the wall-clock seconds spent
     tightening (neurons are refined in layer order, so the budget is
-    spent where it matters most); default unlimited. *)
+    spent where it matters most); default unlimited. [cores] (default 1)
+    fans the independent OBBT probes across that many domains, each
+    probing a private LP copy. *)
 
 val set_output_objective : t -> int -> unit
 (** [set_output_objective enc k] sets the objective to maximise output

@@ -12,6 +12,11 @@ type t = {
   mutable nvars : int;
   mutable rows_rev : row list;
   mutable nrows : int;
+  (* Bound journal: each frame records (var, old_lo, old_hi) for every
+     [set_bounds] issued since the matching [push_bounds], most recent
+     first. Branch & bound uses this to evaluate a search node with
+     O(depth) bound writes instead of an O(problem) copy. *)
+  mutable frames : (var * float * float) list list;
 }
 
 let create () =
@@ -21,7 +26,8 @@ let create () =
     names = Array.make 16 "";
     nvars = 0;
     rows_rev = [];
-    nrows = 0 }
+    nrows = 0;
+    frames = [] }
 
 let grow t =
   let n = Array.length t.lo in
@@ -77,8 +83,28 @@ let set_bounds t v ~lo ~hi =
   if not (Float.is_finite lo && Float.is_finite hi) then
     invalid_arg "Problem.set_bounds: bounds must be finite";
   if lo > hi then invalid_arg "Problem.set_bounds: lo > hi";
+  (match t.frames with
+   | [] -> ()
+   | frame :: rest -> t.frames <- ((v, t.lo.(v), t.hi.(v)) :: frame) :: rest);
   t.lo.(v) <- lo;
   t.hi.(v) <- hi
+
+let push_bounds t = t.frames <- [] :: t.frames
+
+let pop_bounds t =
+  match t.frames with
+  | [] -> invalid_arg "Problem.pop_bounds: no matching push_bounds"
+  | frame :: rest ->
+      t.frames <- rest;
+      (* Most-recent-first: the last restore applied to a variable is its
+         value at push time, so repeated writes unwind correctly. *)
+      List.iter
+        (fun (v, lo, hi) ->
+          t.lo.(v) <- lo;
+          t.hi.(v) <- hi)
+        frame
+
+let journal_depth t = List.length t.frames
 
 let bounds t v =
   check_var t v;
@@ -110,7 +136,8 @@ let copy t =
     names = Array.copy t.names;
     nvars = t.nvars;
     rows_rev = t.rows_rev;
-    nrows = t.nrows }
+    nrows = t.nrows;
+    frames = [] }
 
 let rows t = Array.of_list (List.rev t.rows_rev)
 let var_lo t = Array.sub t.lo 0 t.nvars

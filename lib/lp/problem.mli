@@ -28,6 +28,21 @@ val add_constraint : t -> ?name:string -> (var * float) list -> cmp -> float -> 
 val set_bounds : t -> var -> lo:float -> hi:float -> unit
 (** Tighten/relax a variable's bounds (used by branch & bound). *)
 
+val push_bounds : t -> unit
+(** Open a journal frame: every subsequent {!set_bounds} records the
+    overwritten bounds until the matching {!pop_bounds}. Frames nest.
+    Only bound writes are journalled — adding variables or constraints
+    inside a frame is not undone. *)
+
+val pop_bounds : t -> unit
+(** Restore all bounds changed since the matching {!push_bounds} and
+    discard the frame. Raises [Invalid_argument] with no open frame.
+    This is how branch & bound evaluates a node in O(depth) bound
+    writes instead of copying the whole problem. *)
+
+val journal_depth : t -> int
+(** Number of currently open journal frames (testing hook). *)
+
 val bounds : t -> var -> float * float
 val set_objective : t -> (var * float) list -> unit
 val objective_coeff : t -> var -> float
@@ -36,7 +51,8 @@ val num_constraints : t -> int
 val var_name : t -> var -> string
 
 val copy : t -> t
-(** Deep copy; bound mutations on the copy do not affect the original. *)
+(** Deep copy; bound mutations on the copy do not affect the original.
+    The copy starts with an empty bound journal. *)
 
 (** Internal row representation, exposed for the solver and for tests. *)
 type row = { terms : (var * float) array; cmp : cmp; rhs : float; cname : string }

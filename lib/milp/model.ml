@@ -9,6 +9,11 @@ type t = {
 let create () =
   { problem = Lp.Problem.create (); ints_rev = []; ints = Hashtbl.create 64 }
 
+let copy t =
+  { problem = Lp.Problem.copy t.problem;
+    ints_rev = t.ints_rev;
+    ints = Hashtbl.copy t.ints }
+
 let add_continuous t ?name ~lo ~hi () =
   Lp.Problem.add_var t.problem ?name ~lo ~hi ~obj:0.0 ()
 

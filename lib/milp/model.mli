@@ -10,6 +10,11 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Independent copy: objective/bound mutations on the copy do not
+    affect the original (integrality marks are shared structurally but
+    never mutated after build). *)
+
 val add_continuous : t -> ?name:string -> lo:float -> hi:float -> unit -> var
 val add_binary : t -> ?name:string -> unit -> var
 val add_integer : t -> ?name:string -> lo:int -> hi:int -> unit -> var

@@ -1,0 +1,266 @@
+(* Parallel branch & bound on OCaml 5 domains.
+
+   N worker domains pull open nodes from one shared best-first pool
+   (mutex-protected max-heap, condition-variable wakeups), publish the
+   incumbent through an [Atomic], and prune against it. Each domain owns
+   a private copy of the root LP plus its own simplex workspace; a node
+   is evaluated through the {!Lp.Problem} bound journal (O(depth) bound
+   writes), so nothing is copied per node and domains never share
+   mutable LP state.
+
+   Determinism contract: [~cores:1] delegates to {!Solver.solve} and is
+   bit-identical to the sequential solver. For any core count the
+   outcome, the incumbent objective and the proven bound agree with the
+   sequential result up to [eps] (node/iteration counts and which
+   optimal point is found may differ, since exploration order is
+   timing-dependent). *)
+
+open Solver
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let cores_of_env () =
+  match Sys.getenv_opt "DEPNN_CORES" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* {1 Generic domain fan} *)
+
+(* [map ~cores ~init f items] applies [f state item] to every item,
+   work-stealing over a shared atomic index. [init] runs once per domain
+   to build domain-private scratch state (e.g. an LP copy). Results come
+   back in input order; the first exception is re-raised after all
+   domains have drained. *)
+let map ?(cores = 1) ~init f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let cores = max 1 (min cores n) in
+    if cores = 1 then begin
+      let state = init () in
+      Array.map (f state) items
+    end
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let work () =
+        let state = init () in
+        let rec go () =
+          if Atomic.get failure = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f state items.(i) with
+               | r -> results.(i) <- Some r
+               | exception e ->
+                   ignore (Atomic.compare_and_set failure None (Some e)));
+              go ()
+            end
+          end
+        in
+        go ()
+      in
+      let domains = Array.init (cores - 1) (fun _ -> Domain.spawn work) in
+      work ();
+      Array.iter Domain.join domains;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+  end
+
+(* {1 Parallel branch & bound} *)
+
+let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
+    ?(eps = 1e-6) ?(int_eps = 1e-6) ?(branch_rule = Search.Most_fractional)
+    ?depth_first ?(cutoff = neg_infinity) ?primal_heuristic model =
+  let cores = max 1 cores in
+  if cores = 1 then
+    Solver.solve ~time_limit ~node_limit ~eps ~int_eps ~branch_rule
+      ?depth_first ~cutoff ?primal_heuristic model
+  else begin
+    (* [depth_first] is a sequential ablation hook; the shared pool is
+       always best-first. *)
+    ignore depth_first;
+    let base = Model.lp model in
+    let ints = Model.integer_vars model in
+    let start = Unix.gettimeofday () in
+    let pool = Search.Heap.create () in
+    Search.Heap.push pool Search.root;
+    let mutex = Mutex.create () in
+    let work_available = Condition.create () in
+    (* Guarded by [mutex]: nodes popped but not yet retired, and the
+       stop reason once a limit fires. *)
+    let in_flight = ref 0 in
+    let stopped : outcome option ref = ref None in
+    let failure : exn option ref = ref None in
+    (* Incumbent published to every domain; monotone under CAS. *)
+    let best : (float array * float) option Atomic.t = Atomic.make None in
+    let nodes = Atomic.make 0 in
+    let lp_iters = Atomic.make 0 in
+    let incumbent_value () =
+      match Atomic.get best with Some (_, v) -> v | None -> cutoff
+    in
+    let rec offer point value =
+      let cur = Atomic.get best in
+      let cur_v = match cur with Some (_, v) -> v | None -> cutoff in
+      if value > cur_v +. eps then
+        if not (Atomic.compare_and_set best cur (Some (point, value))) then
+          offer point value
+    in
+    (* Solve the node's relaxation on the domain-private [problem] and
+       return the children to enqueue. *)
+    let evaluate problem node =
+      Search.with_node_bounds problem node (fun () ->
+          let relax = Lp.Simplex.solve problem in
+          ignore (Atomic.fetch_and_add lp_iters relax.Lp.Simplex.iterations);
+          match relax.Lp.Simplex.status with
+          | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> []
+          | Lp.Simplex.Optimal ->
+              let bound = relax.Lp.Simplex.objective in
+              (match primal_heuristic with
+               | Some heuristic -> (
+                   match heuristic relax.Lp.Simplex.x with
+                   | Some (point, value) -> offer point value
+                   | None -> ())
+               | None -> ());
+              if bound > incumbent_value () +. eps then begin
+                match
+                  Search.select_branch_var branch_rule ints int_eps
+                    relax.Lp.Simplex.x
+                with
+                | None ->
+                    offer relax.Lp.Simplex.x bound;
+                    []
+                | Some v ->
+                    let xv = relax.Lp.Simplex.x.(v) in
+                    let lo, hi = Lp.Problem.bounds problem v in
+                    Search.branch node ~v ~xv ~lo ~hi ~bound
+              end
+              else [])
+    in
+    let worker () =
+      let problem = Lp.Problem.copy base in
+      (* Pop the best open node, sleeping while the pool is empty but
+         siblings are still expanding (their children may land here).
+         Called and returning with [mutex] held. *)
+      let rec next () =
+        if !stopped <> None then None
+        else
+          match Search.Heap.pop pool with
+          | Some n ->
+              incr in_flight;
+              Some n
+          | None ->
+              if !in_flight = 0 then None
+              else begin
+                Condition.wait work_available mutex;
+                next ()
+              end
+      in
+      let retire children =
+        Mutex.lock mutex;
+        List.iter (Search.Heap.push pool) children;
+        decr in_flight;
+        Condition.broadcast work_available;
+        Mutex.unlock mutex
+      in
+      (* A worker stopped by a limit puts its node back so the final
+         open bound still covers it. *)
+      let abort node reason =
+        Mutex.lock mutex;
+        Search.Heap.push pool node;
+        decr in_flight;
+        if !stopped = None then stopped := reason;
+        Condition.broadcast work_available;
+        Mutex.unlock mutex
+      in
+      let rec loop () =
+        Mutex.lock mutex;
+        match next () with
+        | None ->
+            Condition.broadcast work_available;
+            Mutex.unlock mutex
+        | Some node ->
+            Mutex.unlock mutex;
+            if Unix.gettimeofday () -. start > time_limit then
+              abort node (Some Time_limit)
+            else if Atomic.get nodes >= node_limit then
+              abort node (Some Node_limit)
+            else if node.Search.parent_bound <= incumbent_value () +. eps then
+              begin
+                (* Pruned by an incumbent published after queueing. *)
+                retire [];
+                loop ()
+              end
+            else begin
+              ignore (Atomic.fetch_and_add nodes 1);
+              match evaluate problem node with
+              | children ->
+                  retire children;
+                  loop ()
+              | exception e ->
+                  Mutex.lock mutex;
+                  decr in_flight;
+                  if !failure = None then failure := Some e;
+                  if !stopped = None then stopped := Some Time_limit;
+                  Condition.broadcast work_available;
+                  Mutex.unlock mutex
+            end
+      in
+      loop ()
+    in
+    let domains = Array.init (cores - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match !failure with Some e -> raise e | None -> ());
+    let incumbent = Atomic.get best in
+    let open_bound =
+      match Search.Heap.peek_bound pool with
+      | Some b -> b
+      | None -> neg_infinity
+    in
+    let best_bound =
+      match incumbent with
+      | Some (_, v) -> Float.max v open_bound
+      | None -> Float.max cutoff open_bound
+    in
+    let outcome =
+      match !stopped with
+      | Some o -> o
+      | None ->
+          if incumbent = None && cutoff = neg_infinity then Infeasible
+          else Optimal
+    in
+    {
+      outcome;
+      incumbent;
+      best_bound;
+      nodes = Atomic.get nodes;
+      elapsed = Unix.gettimeofday () -. start;
+      lp_iterations = Atomic.get lp_iters;
+    }
+  end
+
+let solve_min ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
+    ?depth_first ?cutoff ?primal_heuristic model =
+  let minned = Model.copy model in
+  let problem = Model.lp minned in
+  let n = Lp.Problem.num_vars problem in
+  let original = Lp.Problem.objective problem in
+  Lp.Problem.set_objective problem (List.init n (fun v -> (v, -.original.(v))));
+  let neg_heuristic =
+    Option.map
+      (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
+      primal_heuristic
+  in
+  let r =
+    solve ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
+      ?depth_first
+      ?cutoff:(Option.map (fun c -> -.c) cutoff)
+      ?primal_heuristic:neg_heuristic minned
+  in
+  {
+    r with
+    incumbent = Option.map (fun (x, v) -> (x, -.v)) r.incumbent;
+    best_bound = -.r.best_bound;
+  }

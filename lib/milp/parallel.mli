@@ -1,0 +1,65 @@
+(** Parallel branch & bound for {!Model} instances on OCaml 5 domains.
+
+    [solve ~cores] runs the same best-first search as {!Solver.solve},
+    but with [cores] worker domains pulling open nodes from a shared
+    pool. The incumbent is published through an [Atomic] and every
+    worker prunes against it; each domain owns one private copy of the
+    root LP and evaluates nodes through the {!Lp.Problem} bound journal
+    (no per-node problem copies anywhere).
+
+    {b Determinism contract.} With [~cores:1] the call delegates to
+    {!Solver.solve} and is bit-identical to it. For any core count the
+    [outcome], the incumbent objective and [best_bound] agree with the
+    sequential solver up to [eps]; [nodes], [lp_iterations] and the
+    particular optimal point may differ because exploration order is
+    timing-dependent.
+
+    The [primal_heuristic] callback is invoked concurrently from worker
+    domains and must therefore be thread-safe (the verifier's forward-run
+    heuristic only reads the network and encoding, which qualifies). *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val cores_of_env : unit -> int
+(** Parse the [DEPNN_CORES] environment variable (default/garbage: 1). *)
+
+val map : ?cores:int -> init:(unit -> 'state) -> ('state -> 'a -> 'b) -> 'a array -> 'b array
+(** [map ~cores ~init f items]: apply [f state item] to every item, the
+    items being claimed work-stealing style over a shared atomic index
+    by [cores] domains. [init] runs once per domain and builds
+    domain-private scratch state (e.g. an LP copy for OBBT probes).
+    Results are returned in input order. The first exception raised by
+    [f] is re-raised in the caller after all domains have drained. *)
+
+val solve :
+  ?cores:int ->
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?eps:float ->
+  ?int_eps:float ->
+  ?branch_rule:Solver.branch_rule ->
+  ?depth_first:bool ->
+  ?cutoff:float ->
+  ?primal_heuristic:(float array -> (float array * float) option) ->
+  Model.t ->
+  Solver.result
+(** Maximise the model objective with [cores] worker domains (default 1
+    = sequential). Parameters match {!Solver.solve}; [depth_first] only
+    applies to the sequential delegation — the shared pool is always
+    best-first. *)
+
+val solve_min :
+  ?cores:int ->
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?eps:float ->
+  ?int_eps:float ->
+  ?branch_rule:Solver.branch_rule ->
+  ?depth_first:bool ->
+  ?cutoff:float ->
+  ?primal_heuristic:(float array -> (float array * float) option) ->
+  Model.t ->
+  Solver.result
+(** Minimise, like {!Solver.solve_min} (operates on a private copy of
+    the model; the caller's objective is never touched). *)

@@ -1,0 +1,162 @@
+(* Search-node bookkeeping shared by the sequential ({!Solver}) and
+   parallel ({!Parallel}) branch & bound drivers. *)
+
+(* A search node is the chain of bound tightenings applied on top of the
+   root problem, plus the bound inherited from its parent's relaxation
+   (used as the best-first priority until the node's own LP is solved).
+   Each fix stores the bounds *after* intersecting with every ancestor
+   fix on the same variable, so applying the chain root-first (see
+   {!apply_fixes}) reproduces the node's exact box. *)
+type node = {
+  fixes : (Model.var * float * float) list;  (* most recent first *)
+  parent_bound : float;
+  depth : int;
+}
+
+let root = { fixes = []; parent_bound = infinity; depth = 0 }
+
+(* Max-heap on parent bound. *)
+module Heap = struct
+  type t = { mutable data : node array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let better a b =
+    a.parent_bound > b.parent_bound
+    || (a.parent_bound = b.parent_bound && a.depth > b.depth)
+
+  let push h n =
+    if h.size = Array.length h.data then begin
+      let cap = if h.size = 0 then 64 else 2 * h.size in
+      let bigger = Array.make cap n in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- n;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && better h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.size && better h.data.(l) h.data.(!best) then best := l;
+        if r < h.size && better h.data.(r) h.data.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.data.(!best) in
+          h.data.(!best) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+
+  let size h = h.size
+
+  (* Root of a max-heap: the tightest bound any open node can still
+     attain. O(1), which is what makes time-limit exits cheap. *)
+  let peek_bound h = if h.size = 0 then None else Some h.data.(0).parent_bound
+end
+
+let fractionality x =
+  let f = x -. Float.round x in
+  Float.abs f
+
+type branch_rule =
+  | Most_fractional
+  | Priority of (Model.var -> int)
+  | Pseudo_first of int array
+
+let select_branch_var rule ints int_eps x =
+  let fractional =
+    List.filter (fun v -> fractionality x.(v) > int_eps) ints
+  in
+  match fractional with
+  | [] -> None
+  | _ :: _ -> (
+      match rule with
+      | Most_fractional ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match acc with
+                | None -> Some v
+                | Some b ->
+                    if fractionality x.(v) > fractionality x.(b) then Some v
+                    else acc)
+              None fractional
+          in
+          best
+      | Priority priority ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match acc with
+                | None -> Some v
+                | Some b ->
+                    let pv = priority v and pb = priority b in
+                    if
+                      pv < pb
+                      || (pv = pb && fractionality x.(v) > fractionality x.(b))
+                    then Some v
+                    else acc)
+              None fractional
+          in
+          best
+      | Pseudo_first order ->
+          let in_order =
+            Array.to_list order
+            |> List.filter (fun v -> fractionality x.(v) > int_eps)
+          in
+          (match in_order with v :: _ -> Some v | [] -> (match fractional with v :: _ -> Some v | [] -> None)))
+
+(* Evaluate [f] with [node]'s bound chain applied to [problem], then
+   undo every write through the journal. Fixes are applied root-first so
+   a variable branched twice along the path ends at its deepest (tightest)
+   fix. The caller's problem is restored even if [f] raises. *)
+let with_node_bounds problem node f =
+  Lp.Problem.push_bounds problem;
+  Fun.protect
+    ~finally:(fun () -> Lp.Problem.pop_bounds problem)
+    (fun () ->
+      List.iter
+        (fun (v, lo, hi) -> Lp.Problem.set_bounds problem v ~lo ~hi)
+        (List.rev node.fixes);
+      f ())
+
+(* Children of [node] after branching on fractional variable [v] whose
+   relaxation value is [xv]; [lo, hi] are [v]'s bounds *at the node*.
+   Returned (and meant to be pushed) up-child first, down-child last, so
+   a LIFO consumer explores the "inactive neuron" side first. *)
+let branch node ~v ~xv ~lo ~hi ~bound =
+  let floor_v = Float.floor xv and ceil_v = Float.ceil xv in
+  let children = ref [] in
+  if floor_v >= lo then
+    children :=
+      { fixes = (v, lo, floor_v) :: node.fixes;
+        parent_bound = bound;
+        depth = node.depth + 1 }
+      :: !children;
+  if ceil_v <= hi then
+    children :=
+      { fixes = (v, ceil_v, hi) :: node.fixes;
+        parent_bound = bound;
+        depth = node.depth + 1 }
+      :: !children;
+  !children

@@ -1,0 +1,59 @@
+(** Search-node bookkeeping shared by the sequential ({!Solver}) and
+    parallel ({!Parallel}) branch & bound drivers.
+
+    A node is the chain of bound tightenings ("fixes") applied on top of
+    the root LP. Evaluating one costs O(depth) bound writes through the
+    {!Lp.Problem} journal instead of an O(problem) copy. *)
+
+type node = {
+  fixes : (Model.var * float * float) list;
+      (** most recent first; each entry already intersected with every
+          ancestor fix of the same variable *)
+  parent_bound : float;
+      (** relaxation bound inherited from the parent (best-first key) *)
+  depth : int;
+}
+
+val root : node
+(** The root node: no fixes, infinite parent bound. *)
+
+(** Max-heap on [parent_bound] (ties: deeper node first). *)
+module Heap : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> node -> unit
+  val pop : t -> node option
+  val size : t -> int
+
+  val peek_bound : t -> float option
+  (** Bound of the best open node — the heap's global open bound — in O(1). *)
+end
+
+type branch_rule =
+  | Most_fractional
+  | Priority of (Model.var -> int)
+  | Pseudo_first of int array
+
+val fractionality : float -> float
+
+val select_branch_var :
+  branch_rule -> Model.var list -> float -> float array -> Model.var option
+(** [select_branch_var rule ints int_eps x] picks the integer variable to
+    branch on, or [None] when [x] is integral on [ints]. *)
+
+val with_node_bounds : Lp.Problem.t -> node -> (unit -> 'a) -> 'a
+(** Apply the node's fixes (root-first) inside a journal frame, run the
+    callback, and restore the problem's bounds — even on exceptions. *)
+
+val branch :
+  node ->
+  v:Model.var ->
+  xv:float ->
+  lo:float ->
+  hi:float ->
+  bound:float ->
+  node list
+(** Children after branching on [v] at fractional value [xv]; [lo]/[hi]
+    are [v]'s bounds at the node, [bound] the node's relaxation value.
+    Listed up-child first, down-child last (LIFO pops the down side). *)

@@ -9,120 +9,10 @@ type result = {
   lp_iterations : int;
 }
 
-type branch_rule =
+type branch_rule = Search.branch_rule =
   | Most_fractional
   | Priority of (Model.var -> int)
   | Pseudo_first of int array
-
-(* A search node is the chain of bound tightenings applied on top of the
-   root problem, plus the bound inherited from its parent's relaxation
-   (used as the best-first priority until the node's own LP is solved). *)
-type node = {
-  fixes : (Model.var * float * float) list;
-  parent_bound : float;
-  depth : int;
-}
-
-(* Max-heap on parent bound. *)
-module Heap = struct
-  type t = { mutable data : node array; mutable size : int }
-
-  let create () = { data = Array.make 64 { fixes = []; parent_bound = 0.0; depth = 0 }; size = 0 }
-
-  let better a b =
-    a.parent_bound > b.parent_bound
-    || (a.parent_bound = b.parent_bound && a.depth > b.depth)
-
-  let push h n =
-    if h.size = Array.length h.data then begin
-      let bigger = Array.make (2 * h.size) n in
-      Array.blit h.data 0 bigger 0 h.size;
-      h.data <- bigger
-    end;
-    h.data.(h.size) <- n;
-    h.size <- h.size + 1;
-    let i = ref (h.size - 1) in
-    while !i > 0 && better h.data.(!i) h.data.((!i - 1) / 2) do
-      let p = (!i - 1) / 2 in
-      let tmp = h.data.(p) in
-      h.data.(p) <- h.data.(!i);
-      h.data.(!i) <- tmp;
-      i := p
-    done
-
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.data.(0) in
-      h.size <- h.size - 1;
-      h.data.(0) <- h.data.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let best = ref !i in
-        if l < h.size && better h.data.(l) h.data.(!best) then best := l;
-        if r < h.size && better h.data.(r) h.data.(!best) then best := r;
-        if !best = !i then continue := false
-        else begin
-          let tmp = h.data.(!best) in
-          h.data.(!best) <- h.data.(!i);
-          h.data.(!i) <- tmp;
-          i := !best
-        end
-      done;
-      Some top
-    end
-
-  let peek_bound h = if h.size = 0 then None else Some h.data.(0).parent_bound
-end
-
-let fractionality x =
-  let f = x -. Float.round x in
-  Float.abs f
-
-let select_branch_var rule ints int_eps x =
-  let fractional =
-    List.filter (fun v -> fractionality x.(v) > int_eps) ints
-  in
-  match fractional with
-  | [] -> None
-  | _ :: _ -> (
-      match rule with
-      | Most_fractional ->
-          let best =
-            List.fold_left
-              (fun acc v ->
-                match acc with
-                | None -> Some v
-                | Some b ->
-                    if fractionality x.(v) > fractionality x.(b) then Some v
-                    else acc)
-              None fractional
-          in
-          best
-      | Priority priority ->
-          let best =
-            List.fold_left
-              (fun acc v ->
-                match acc with
-                | None -> Some v
-                | Some b ->
-                    let pv = priority v and pb = priority b in
-                    if
-                      pv < pb
-                      || (pv = pb && fractionality x.(v) > fractionality x.(b))
-                    then Some v
-                    else acc)
-              None fractional
-          in
-          best
-      | Pseudo_first order ->
-          let in_order =
-            Array.to_list order
-            |> List.filter (fun v -> fractionality x.(v) > int_eps)
-          in
-          (match in_order with v :: _ -> Some v | [] -> (match fractional with v :: _ -> Some v | [] -> None)))
 
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
@@ -130,30 +20,44 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
   let base = Model.lp model in
   let ints = Model.integer_vars model in
   let start = Unix.gettimeofday () in
-  let heap = Heap.create () in
-  let stack = ref [] in
-  let push n = if depth_first then stack := n :: !stack else Heap.push heap n in
+  (* One copy up front keeps the caller's problem untouched; every node
+     after that is evaluated through the bound journal (O(depth) writes,
+     no per-node copy). *)
+  let problem = Lp.Problem.copy base in
+  let heap = Search.Heap.create () in
+  (* The LIFO stack stores (node, running max of open parent bounds from
+     this entry down), so the depth-first path reports the same global
+     open bound as the heap path in O(1). *)
+  let stack : (Search.node * float) list ref = ref [] in
+  let push n =
+    if depth_first then
+      let below =
+        match !stack with [] -> neg_infinity | (_, m) :: _ -> m
+      in
+      stack := (n, Float.max n.Search.parent_bound below) :: !stack
+    else Search.Heap.push heap n
+  in
   let pop () =
     if depth_first then
       match !stack with
       | [] -> None
-      | n :: rest ->
+      | (n, _) :: rest ->
           stack := rest;
           Some n
-    else Heap.pop heap
+    else Search.Heap.pop heap
   in
-  push { fixes = []; parent_bound = infinity; depth = 0 };
+  push Search.root;
   let incumbent = ref None in
   let incumbent_value = ref cutoff in
   let nodes = ref 0 in
   let lp_iters = ref 0 in
   let best_open_bound () =
     if depth_first then
-      (* A LIFO order gives no tight global bound; fall back to the
-         weakest open parent bound. *)
-      List.fold_left (fun acc n -> Float.max acc n.parent_bound) neg_infinity
-        !stack
-    else match Heap.peek_bound heap with Some b -> b | None -> neg_infinity
+      match !stack with [] -> neg_infinity | (_, m) :: _ -> m
+    else
+      match Search.Heap.peek_bound heap with
+      | Some b -> b
+      | None -> neg_infinity
   in
   let finish outcome =
     let bound =
@@ -183,59 +87,44 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
           if !incumbent = None && cutoff = neg_infinity then finish Infeasible
           else finish Optimal
       | Some node ->
-          if node.parent_bound <= !incumbent_value +. eps then
+          if node.Search.parent_bound <= !incumbent_value +. eps then
             (* Pruned by an incumbent found after this node was queued. *)
             loop ()
           else begin
             incr nodes;
-            let problem = Lp.Problem.copy base in
-            List.iter
-              (fun (v, lo, hi) -> Lp.Problem.set_bounds problem v ~lo ~hi)
-              node.fixes;
-            let relax = Lp.Simplex.solve problem in
-            lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
-            (match relax.Lp.Simplex.status with
-             | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
-             | Lp.Simplex.Optimal ->
-                 let bound = relax.Lp.Simplex.objective in
-                 (* Caller-supplied rounding heuristic: project the
-                    relaxation point onto a feasible integral one. *)
-                 (match primal_heuristic with
-                  | Some heuristic -> (
-                      match heuristic relax.Lp.Simplex.x with
-                      | Some (point, value) when value > !incumbent_value +. eps
-                        ->
-                          incumbent := Some (point, value);
-                          incumbent_value := value
-                      | Some _ | None -> ())
-                  | None -> ());
-                 if bound > !incumbent_value +. eps then begin
-                   match select_branch_var branch_rule ints int_eps relax.Lp.Simplex.x with
-                   | None ->
-                       (* Integral: new incumbent. *)
-                       incumbent := Some (relax.Lp.Simplex.x, bound);
-                       incumbent_value := bound
-                   | Some v ->
-                       let xv = relax.Lp.Simplex.x.(v) in
-                       let lo, hi = Lp.Problem.bounds problem v in
-                       let floor_v = Float.floor xv and ceil_v = Float.ceil xv in
-                       (* Down child first so the depth-first stack explores
-                          the "inactive neuron" side first. *)
-                       if ceil_v <= hi then
-                         push
-                           {
-                             fixes = (v, ceil_v, hi) :: node.fixes;
-                             parent_bound = bound;
-                             depth = node.depth + 1;
-                           };
-                       if floor_v >= lo then
-                         push
-                           {
-                             fixes = (v, lo, floor_v) :: node.fixes;
-                             parent_bound = bound;
-                             depth = node.depth + 1;
-                           }
-                 end);
+            Search.with_node_bounds problem node (fun () ->
+                let relax = Lp.Simplex.solve problem in
+                lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
+                match relax.Lp.Simplex.status with
+                | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
+                | Lp.Simplex.Optimal ->
+                    let bound = relax.Lp.Simplex.objective in
+                    (* Caller-supplied rounding heuristic: project the
+                       relaxation point onto a feasible integral one. *)
+                    (match primal_heuristic with
+                     | Some heuristic -> (
+                         match heuristic relax.Lp.Simplex.x with
+                         | Some (point, value)
+                           when value > !incumbent_value +. eps ->
+                             incumbent := Some (point, value);
+                             incumbent_value := value
+                         | Some _ | None -> ())
+                     | None -> ());
+                    if bound > !incumbent_value +. eps then begin
+                      match
+                        Search.select_branch_var branch_rule ints int_eps
+                          relax.Lp.Simplex.x
+                      with
+                      | None ->
+                          (* Integral: new incumbent. *)
+                          incumbent := Some (relax.Lp.Simplex.x, bound);
+                          incumbent_value := bound
+                      | Some v ->
+                          let xv = relax.Lp.Simplex.x.(v) in
+                          let lo, hi = Lp.Problem.bounds problem v in
+                          List.iter push
+                            (Search.branch node ~v ~xv ~lo ~hi ~bound)
+                    end);
             loop ()
           end
   in
@@ -243,8 +132,12 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
 
 let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
     ?cutoff ?primal_heuristic model =
-  (* Negate the objective, maximise, then report back in min sense. *)
-  let problem = Model.lp model in
+  (* Negate the objective on a private copy of the model, maximise, then
+     report back in min sense. The caller's model is never touched, so
+     concurrent solves over the same model are safe and an exception
+     cannot leave the objective negated. *)
+  let minned = Model.copy model in
+  let problem = Model.lp minned in
   let n = Lp.Problem.num_vars problem in
   let original = Lp.Problem.objective problem in
   let negated = List.init n (fun v -> (v, -.original.(v))) in
@@ -257,10 +150,8 @@ let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
   let r =
     solve ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
-      ?primal_heuristic:neg_heuristic model
+      ?primal_heuristic:neg_heuristic minned
   in
-  let restore = List.init n (fun v -> (v, original.(v))) in
-  Lp.Problem.set_objective problem restore;
   {
     r with
     incumbent = Option.map (fun (x, v) -> (x, -.v)) r.incumbent;

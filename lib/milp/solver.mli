@@ -25,7 +25,7 @@ type result = {
   lp_iterations : int;  (** total simplex pivots across all nodes *)
 }
 
-type branch_rule =
+type branch_rule = Search.branch_rule =
   | Most_fractional
   | Priority of (Model.var -> int)
       (** branch on the eligible fractional variable with the smallest

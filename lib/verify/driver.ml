@@ -26,10 +26,11 @@ let witness_of_solution enc net ~component ~output_index solution =
    encoding; the overall maximum is the max of the per-coordinate
    results. *)
 let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interval_bounds)
-    ?(tighten_rounds = 1) ?(depth_first = false) ~outputs:output_indices net box =
+    ?(tighten_rounds = 1) ?(depth_first = false) ?(cores = 1)
+    ~outputs:output_indices net box =
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
-      ~tighten_budget:(0.5 *. time_limit) net box
+      ~tighten_budget:(0.5 *. time_limit) ~cores net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
   let n_queries = List.length output_indices in
@@ -49,7 +50,7 @@ let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interv
         Some (point, point.(enc.Encoding.Encoder.output_vars.(k)))
       in
       let r =
-        Milp.Solver.solve ~time_limit:per_query_limit
+        Milp.Parallel.solve ~cores ~time_limit:per_query_limit
           ~branch_rule:(Milp.Solver.Priority priority) ~depth_first
           ~primal_heuristic enc.Encoding.Encoder.model
       in
@@ -91,16 +92,16 @@ let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interv
   }
 
 let max_lateral_velocity ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ~components net box =
+    ?cores ~components net box =
   let outputs =
     List.init components (fun k -> Nn.Gmm.mu_lat_index ~components k)
   in
-  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
     ~outputs net box
 
 let maximize_output ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ~output net box =
-  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first
+    ?cores ~output net box =
+  maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
     ~outputs:[ output ] net box
 
 type proof = Proved | Disproved of witness | Unknown of { best_bound : float }
@@ -109,10 +110,10 @@ type proof_result = { proof : proof; proof_elapsed : float; proof_nodes : int }
 
 let prove_lateral_velocity_le ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ~components ~threshold net box =
+    ?(cores = 1) ~components ~threshold net box =
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
-      ~tighten_budget:(0.5 *. time_limit) net box
+      ~tighten_budget:(0.5 *. time_limit) ~cores net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
   let per_query_limit = time_limit /. float_of_int components in
@@ -125,8 +126,9 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
       let output = Nn.Gmm.mu_lat_index ~components k in
       Encoding.Encoder.set_output_objective enc output;
       let r =
-        Milp.Solver.solve ~time_limit:per_query_limit ~cutoff:threshold
-          ~branch_rule:(Milp.Solver.Priority priority) enc.Encoding.Encoder.model
+        Milp.Parallel.solve ~cores ~time_limit:per_query_limit
+          ~cutoff:threshold ~branch_rule:(Milp.Solver.Priority priority)
+          enc.Encoding.Encoder.model
       in
       elapsed := !elapsed +. r.Milp.Solver.elapsed;
       nodes := !nodes + r.Milp.Solver.nodes;

@@ -34,19 +34,24 @@ val max_lateral_velocity :
   ?bound_mode:Encoding.Encoder.bound_mode ->
   ?tighten_rounds:int ->
   ?depth_first:bool ->
+  ?cores:int ->
   components:int ->
   Nn.Network.t ->
   Interval.Box.box ->
   max_result
 (** [time_limit] (default 60 s) is shared across the per-component
     solves. [tighten_rounds] (default 1) rounds of OBBT are applied
-    before searching (see {!Encoding.Encoder.encode}). *)
+    before searching (see {!Encoding.Encoder.encode}). [cores]
+    (default 1) runs both the OBBT probes and each branch & bound
+    search on that many worker domains ({!Milp.Parallel}); results
+    agree with [cores = 1] up to solver epsilon. *)
 
 val maximize_output :
   ?time_limit:float ->
   ?bound_mode:Encoding.Encoder.bound_mode ->
   ?tighten_rounds:int ->
   ?depth_first:bool ->
+  ?cores:int ->
   output:int ->
   Nn.Network.t ->
   Interval.Box.box ->
@@ -68,6 +73,7 @@ val prove_lateral_velocity_le :
   ?time_limit:float ->
   ?bound_mode:Encoding.Encoder.bound_mode ->
   ?tighten_rounds:int ->
+  ?cores:int ->
   components:int ->
   threshold:float ->
   Nn.Network.t ->

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Lightweight style gate for CI (stand-in for `dune build @fmt`: the
+# project does not pin ocamlformat, so we enforce the invariants that
+# matter for reviewable diffs instead).
+#
+#   - no tab characters in OCaml sources or dune files
+#   - no trailing whitespace
+#   - every tracked text file ends with a newline
+#
+# Exits non-zero listing each offending file:line.
+
+set -u
+
+fail=0
+
+files=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' 'dune-project' '*.md' '*.sh')
+
+for f in $files; do
+  [ -f "$f" ] || continue
+
+  if grep -n "$(printf '\t')" "$f" >/dev/null 2>&1; then
+    case "$f" in
+      *.md) ;; # markdown allows tabs in code blocks
+      *)
+        echo "tab character(s):"
+        grep -n "$(printf '\t')" "$f" | head -5 | sed "s|^|  $f:|"
+        fail=1
+        ;;
+    esac
+  fi
+
+  if grep -n ' $' "$f" >/dev/null 2>&1; then
+    echo "trailing whitespace:"
+    grep -n ' $' "$f" | head -5 | sed "s|^|  $f:|"
+    fail=1
+  fi
+
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+    echo "missing final newline: $f"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "style check passed ($(echo "$files" | wc -l | tr -d ' ') files)"
+fi
+
+exit "$fail"

@@ -127,6 +127,49 @@ let test_problem_copy_independent () =
   Alcotest.(check (float 1e-9)) "p unaffected" 10.0 s.Lp.Simplex.objective;
   Alcotest.(check (float 1e-9)) "q tightened" 1.0 sq.Lp.Simplex.objective
 
+let test_bound_journal_nested () =
+  (* pop_bounds must exactly restore bounds after nested pushes, even
+     with repeated writes to the same variable inside one frame. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:(-1.0) ~hi:5.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:2.0 ~obj:0.0 () in
+  let check_bounds msg v elo ehi =
+    let lo, hi = Lp.Problem.bounds p v in
+    Alcotest.(check (float 0.0)) (msg ^ " lo") elo lo;
+    Alcotest.(check (float 0.0)) (msg ^ " hi") ehi hi
+  in
+  Lp.Problem.push_bounds p;
+  Lp.Problem.set_bounds p x ~lo:0.0 ~hi:3.0;
+  Lp.Problem.set_bounds p x ~lo:1.0 ~hi:2.0;
+  Lp.Problem.push_bounds p;
+  Lp.Problem.set_bounds p x ~lo:2.0 ~hi:2.0;
+  Lp.Problem.set_bounds p y ~lo:1.0 ~hi:1.0;
+  Alcotest.(check int) "two frames open" 2 (Lp.Problem.journal_depth p);
+  check_bounds "inner x" x 2.0 2.0;
+  Lp.Problem.pop_bounds p;
+  check_bounds "after inner pop x" x 1.0 2.0;
+  check_bounds "after inner pop y" y 0.0 2.0;
+  Lp.Problem.pop_bounds p;
+  check_bounds "after outer pop x" x (-1.0) 5.0;
+  check_bounds "after outer pop y" y 0.0 2.0;
+  Alcotest.(check int) "journal empty" 0 (Lp.Problem.journal_depth p);
+  Alcotest.check_raises "unbalanced pop"
+    (Invalid_argument "Problem.pop_bounds: no matching push_bounds")
+    (fun () -> Lp.Problem.pop_bounds p)
+
+let test_bound_journal_protects_solve () =
+  (* A solve inside a journal frame sees the tightened box; popping
+     restores the original optimum. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  Lp.Problem.push_bounds p;
+  Lp.Problem.set_bounds p x ~lo:0.0 ~hi:1.0;
+  let tight = Lp.Simplex.solve p in
+  Lp.Problem.pop_bounds p;
+  let loose = Lp.Simplex.solve p in
+  Alcotest.(check (float 1e-9)) "tightened" 1.0 tight.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-9)) "restored" 10.0 loose.Lp.Simplex.objective
+
 let test_degenerate_many_ties () =
   (* Many redundant constraints through the optimum: classic cycling
      bait for Dantzig's rule. *)
@@ -246,6 +289,8 @@ let () =
         [
           quick "validation" test_problem_validation;
           quick "copy independent" test_problem_copy_independent;
+          quick "bound journal nested" test_bound_journal_nested;
+          quick "bound journal solve" test_bound_journal_protects_solve;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -153,6 +153,90 @@ let test_model_bookkeeping () =
   Alcotest.(check (float 0.0)) "int lo" (-1.0) lo;
   Alcotest.(check (float 0.0)) "int hi" 4.0 hi
 
+let test_parallel_knapsack () =
+  let m = Milp.Model.create () in
+  let values = [| 10.0; 13.0; 7.0; 8.0 |] and weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs)) 10.0;
+  Milp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  List.iter
+    (fun cores ->
+      let r = Milp.Parallel.solve ~cores m in
+      check_outcome Milp.Solver.Optimal r;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "optimum on %d cores" cores)
+        21.0 (incumbent_value r))
+    [ 1; 2; 4 ]
+
+let test_parallel_cutoff_prunes () =
+  (* Decision-query mode must hold in parallel too: a cutoff above the
+     optimum certifies max <= cutoff with no incumbent. *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.set_objective m [ (x, 5.0) ];
+  let r = Milp.Parallel.solve ~cores:4 ~cutoff:6.0 m in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check bool) "no incumbent" true (r.Milp.Solver.incumbent = None);
+  Alcotest.(check bool) "bound <= cutoff" true
+    (r.Milp.Solver.best_bound <= 6.0 +. 1e-9)
+
+let test_parallel_infeasible () =
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.add_ge m [ (x, 1.0) ] 0.4;
+  Milp.Model.add_le m [ (x, 1.0) ] 0.6;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  check_outcome Milp.Solver.Infeasible (Milp.Parallel.solve ~cores:3 m)
+
+let test_solve_min_objective_untouched () =
+  (* solve_min used to negate the shared objective in place and restore
+     it afterwards — racy in parallel and unsafe under exceptions. It
+     must leave the caller's model untouched. *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_integer m ~lo:0 ~hi:10 () in
+  Milp.Model.add_ge m [ (x, 2.0) ] 7.0;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  let before = Lp.Problem.objective (Milp.Model.lp m) in
+  let r = Milp.Solver.solve_min m in
+  let after = Lp.Problem.objective (Milp.Model.lp m) in
+  Alcotest.(check (float 1e-6)) "min integer" 4.0 (incumbent_value r);
+  Alcotest.(check (array (float 0.0))) "objective untouched" before after;
+  let rp = Milp.Parallel.solve_min ~cores:2 m in
+  Alcotest.(check (float 1e-6)) "parallel min" 4.0 (incumbent_value rp);
+  Alcotest.(check (array (float 0.0))) "objective untouched (parallel)"
+    before
+    (Lp.Problem.objective (Milp.Model.lp m))
+
+let test_open_bound_stack_matches_heap () =
+  (* Stopping at the node limit, the depth-first stack must report the
+     same global open bound as the best-first heap (incremental
+     max-stack vs O(1) heap peek). *)
+  let m = Milp.Model.create () in
+  let xs = List.init 8 (fun _ -> Milp.Model.add_binary m ()) in
+  Milp.Model.add_le m (List.map (fun x -> (x, 1.0)) xs) 3.7;
+  Milp.Model.set_objective m
+    (List.mapi (fun i x -> (x, 1.0 +. (0.1 *. float_of_int i))) xs);
+  let bfs = Milp.Solver.solve ~node_limit:1 m in
+  let dfs = Milp.Solver.solve ~node_limit:1 ~depth_first:true m in
+  check_outcome Milp.Solver.Node_limit bfs;
+  check_outcome Milp.Solver.Node_limit dfs;
+  Alcotest.(check (float 1e-9)) "same open bound" bfs.Milp.Solver.best_bound
+    dfs.Milp.Solver.best_bound
+
+let test_parallel_map_order_and_state () =
+  let squares =
+    Milp.Parallel.map ~cores:4
+      ~init:(fun () -> ref 0)
+      (fun counter x ->
+        incr counter;
+        x * x)
+      (Array.init 33 Fun.id)
+  in
+  Alcotest.(check (array int)) "squares in input order"
+    (Array.init 33 (fun i -> i * i))
+    squares
+
 (* Random knapsacks vs brute force. *)
 let gen_knapsack =
   QCheck.Gen.(
@@ -191,6 +275,32 @@ let prop_knapsack_matches_brute_force =
           Float.abs (v -. brute_force values weights capacity) < 1e-5
       | None -> brute_force values weights capacity = 0.0)
 
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel matches sequential" ~count:25
+    (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
+      let m = Milp.Model.create () in
+      let xs = List.map (fun _ -> Milp.Model.add_binary m ()) values in
+      Milp.Model.add_le m (List.map2 (fun x w -> (x, w)) xs weights) capacity;
+      (* A continuous tail keeps the relaxation fractional at the root. *)
+      let y = Milp.Model.add_continuous m ~lo:0.0 ~hi:1.0 () in
+      Milp.Model.add_le m [ (y, 1.0); (List.hd xs, 1.0) ] 1.4;
+      Milp.Model.set_objective m
+        ((y, 0.7) :: List.map2 (fun x v -> (x, v)) xs values);
+      let seq = Milp.Solver.solve m in
+      let eps = 1e-6 in
+      let close a b = a = b || Float.abs (a -. b) < eps in
+      let agrees cores =
+        let par = Milp.Parallel.solve ~cores m in
+        outcome_name par.Milp.Solver.outcome
+        = outcome_name seq.Milp.Solver.outcome
+        && (match (seq.Milp.Solver.incumbent, par.Milp.Solver.incumbent) with
+           | Some (_, a), Some (_, b) -> close a b
+           | None, None -> true
+           | _ -> false)
+        && close par.Milp.Solver.best_bound seq.Milp.Solver.best_bound
+      in
+      List.for_all agrees [ 1; 2; 4 ])
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "milp"
@@ -210,7 +320,16 @@ let () =
           quick "primal heuristic" test_primal_heuristic_adopted;
         ] );
       ("model", [ quick "bookkeeping" test_model_bookkeeping ]);
+      ( "parallel",
+        [
+          quick "knapsack on 1/2/4 cores" test_parallel_knapsack;
+          quick "cutoff prunes" test_parallel_cutoff_prunes;
+          quick "infeasible" test_parallel_infeasible;
+          quick "solve_min leaves objective" test_solve_min_objective_untouched;
+          quick "open bound stack = heap" test_open_bound_stack_matches_heap;
+          quick "map order + state" test_parallel_map_order_and_state;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_knapsack_matches_brute_force ] );
+          [ prop_knapsack_matches_brute_force; prop_parallel_matches_sequential ] );
     ]
