@@ -6,6 +6,7 @@
      dune exec bench/main.exe fig1       -- Fig. 1 (simulation snapshot)
      dune exec bench/main.exe mcdc       -- Sec. II MC/DC argument
      dune exec bench/main.exe ablation   -- encoder/solver ablations
+     dune exec bench/main.exe fault      -- fault campaign + guard overhead
      dune exec bench/main.exe micro      -- Bechamel microbenchmarks
 
    [micro --json] additionally writes the ns/run numbers to
@@ -331,6 +332,58 @@ let ablation () =
          (a -. b)
    | _ -> ())
 
+(* {1 Fault campaign throughput and guard overhead} *)
+
+let fault_bench () =
+  heading "Fault campaign throughput and runtime-guard overhead";
+  let width = List.hd widths in
+  let net = train_width width in
+  let rng = Linalg.Rng.create (seed + 31) in
+  let scenes =
+    Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky 0.0)
+      ~n_samples:200 ()
+    |> Array.map (fun s -> s.Highway.Recorder.features)
+  in
+  let envelope = Guard.envelope ~components ~lat_limit:1.5 () in
+  (* Guard overhead: a guarded prediction against the raw
+     forward + decode the unguarded deployment path would run. *)
+  let reps = 20_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    let out = Nn.Network.forward net scenes.(i mod Array.length scenes) in
+    ignore (Nn.Gmm.mean (Nn.Gmm.decode ~components out))
+  done;
+  let raw_s = Unix.gettimeofday () -. t0 in
+  let guard = Guard.make ~envelope net in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    ignore (Guard.predict guard scenes.(i mod Array.length scenes))
+  done;
+  let guarded_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "raw forward+decode      %8.0f ns/prediction\n"
+    (1e9 *. raw_s /. float_of_int reps);
+  Printf.printf "guarded predict         %8.0f ns/prediction (%.1f%% overhead)\n"
+    (1e9 *. guarded_s /. float_of_int reps)
+    (100.0 *. ((guarded_s /. raw_s) -. 1.0));
+  (* Campaign throughput: seeded end-to-end trials. *)
+  let trials = 200 in
+  let rng = Linalg.Rng.create (seed + 32) in
+  let report =
+    Fault.Campaign.run ~rng ~envelope ~scenes ~trials net
+  in
+  Printf.printf
+    "campaign: %d trials x %d scenes in %.2fs (%.0f guarded predictions/s)\n"
+    trials report.Fault.Campaign.scenes report.Fault.Campaign.elapsed
+    (float_of_int (trials * report.Fault.Campaign.scenes)
+    /. report.Fault.Campaign.elapsed);
+  Printf.printf
+    "campaign: %d detected, %d nan (all detected: %b), %d violations, \
+     %d silent, %d escaped\n"
+    report.Fault.Campaign.detected report.Fault.Campaign.nan_trials
+    (report.Fault.Campaign.nan_detected = report.Fault.Campaign.nan_trials)
+    report.Fault.Campaign.violation_trials report.Fault.Campaign.silent
+    report.Fault.Campaign.escaped_exceptions
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro ?(json = false) () =
@@ -368,9 +421,16 @@ let micro ?(json = false) () =
     |> List.mapi (fun i (v, _, _) ->
            if i mod 2 = 0 then (v, 0.0, 0.0) else (v, 1.0, 1.0))
   in
+  let guard =
+    Guard.make
+      ~envelope:(Guard.envelope ~components:3 ~lat_limit:1.5 ())
+      net
+  in
   let tests =
     [
       Test.make ~name:"forward pass I4x20" (Staged.stage (fun () -> Nn.Network.forward net x));
+      Test.make ~name:"guarded predict I4x20"
+        (Staged.stage (fun () -> Guard.predict guard x));
       Test.make ~name:"bound propagation I4x20"
         (Staged.stage (fun () -> Encoding.Bounds.propagate net box));
       Test.make ~name:"scene encode (84 features)"
@@ -464,6 +524,7 @@ let () =
    | "fig1" -> fig1 ()
    | "mcdc" -> mcdc ()
    | "ablation" -> ablation ()
+   | "fault" -> fault_bench ()
    | "micro" -> micro ~json ()
    | "all" ->
        table1 ();
@@ -471,10 +532,12 @@ let () =
        fig1 ();
        mcdc ();
        ablation ();
+       fault_bench ();
        micro ~json ()
    | other ->
        Printf.eprintf
-         "unknown mode %s (expected table1|table2|fig1|mcdc|ablation|micro|all)\n"
+         "unknown mode %s (expected \
+          table1|table2|fig1|mcdc|ablation|fault|micro|all)\n"
          other;
        exit 2);
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

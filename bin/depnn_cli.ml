@@ -9,7 +9,9 @@
      depnn verify   predictor.net --threshold 1.5 --time-limit 60
      depnn trace    predictor.net
      depnn simulate predictor.net
-     depnn certify  --width 10 *)
+     depnn certify  --width 10
+     depnn fault campaign --trials 50 --lat-limit 1.5 --smoke
+     depnn guard    predictor.net --demo-fault *)
 
 open Cmdliner
 
@@ -234,6 +236,183 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Render a simulation snapshot (Fig. 1 analogue).")
     Term.(const simulate $ net_arg $ seed_arg $ steps)
 
+(* {1 fault campaign / guard} *)
+
+(* Either load a trained network or synthesize a seeded random I4xN one
+   (campaign statistics don't need a trained predictor, just a
+   realistic architecture). *)
+let load_or_synthesize net_path ~seed ~width =
+  match net_path with
+  | Some path -> Nn.Io.load path
+  | None ->
+      Nn.Network.i4xn
+        ~rng:(Linalg.Rng.create (seed + 17))
+        ~output_dim:(Nn.Gmm.output_dim ~components)
+        width
+
+(* Clean scenes from the nominal expert, as feature vectors. *)
+let record_scenes ~seed ~n =
+  let recorded = record ~seed ~samples:n ~risky:0.0 in
+  Array.map (fun s -> s.Highway.Recorder.features) recorded
+
+(* The runtime envelope: either the caller's explicit limit, or the
+   MILP-proven bound over the vehicle-on-left scenario box. *)
+let derive_envelope ~lat_limit ~time_limit ~cores net =
+  match lat_limit with
+  | Some l -> Guard.envelope ~components ~lat_limit:l ()
+  | None ->
+      Printf.printf "verifying envelope (%.0fs budget)...\n%!" time_limit;
+      let box = Verify.Scenario.vehicle_on_left () in
+      let r =
+        Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components net
+          box
+      in
+      let e = Guard.envelope_of_verification ~components r in
+      Printf.printf "proven lat limit: %.3f m/s\n%!" e.Guard.lat_limit;
+      e
+
+let fault_campaign net_path seed width trials scenes lat_limit time_limit
+    cores reverify smoke =
+  let net = load_or_synthesize net_path ~seed ~width in
+  let envelope = derive_envelope ~lat_limit ~time_limit ~cores net in
+  let scenes = record_scenes ~seed ~n:scenes in
+  let rng = Linalg.Rng.create seed in
+  (* In smoke mode, pin a known overflow-producing bit flip so the NaN
+     detection assertion is exercised, not vacuously true. *)
+  let faults =
+    if not smoke then []
+    else begin
+      match Fault.Campaign.find_nan_fault ~components ~scenes net with
+      | Some f ->
+          Printf.printf "pinned NaN fault: %s\n" (Fault.Model.describe f);
+          [ f ]
+      | None ->
+          print_endline "warning: no single-bit NaN fault found to pin";
+          []
+    end
+  in
+  let report =
+    Fault.Campaign.run ~rng ~envelope ~reverify ~faults ~scenes ~trials net
+  in
+  print_string (Fault.Campaign.render report);
+  if smoke then begin
+    let nan_exercised =
+      faults = [] || report.Fault.Campaign.nan_trials > 0
+    in
+    let ok =
+      nan_exercised
+      && report.Fault.Campaign.nan_detected = report.Fault.Campaign.nan_trials
+      && report.Fault.Campaign.escaped_exceptions = 0
+      && report.Fault.Campaign.violations_detected
+         = report.Fault.Campaign.violation_trials
+    in
+    Printf.printf "smoke: %s\n" (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  end
+
+let opt_net_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"NETWORK"
+        ~doc:
+          "Trained network file; omitted, a seeded random I4xN predictor \
+           is synthesized.")
+
+let trials_arg =
+  Arg.(value & opt int 50
+       & info [ "trials" ] ~docv:"N" ~doc:"Faults to inject.")
+
+let scenes_arg =
+  Arg.(value & opt int 100
+       & info [ "scenes" ] ~docv:"N" ~doc:"Scenes replayed per fault.")
+
+let lat_limit_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "lat-limit" ] ~docv:"V"
+        ~doc:
+          "Envelope limit on the lateral velocity (m/s). When omitted the \
+           limit is proven by MILP over the vehicle-on-left scenario \
+           (slower).")
+
+let time_limit_arg =
+  Arg.(value & opt float 30.0
+       & info [ "time-limit" ] ~docv:"S"
+           ~doc:"Verification budget when proving the envelope (seconds).")
+
+let fault_campaign_cmd =
+  let reverify =
+    Arg.(value & opt int 0
+         & info [ "reverify" ] ~docv:"N"
+             ~doc:"Re-verify up to N faulted networks by MILP.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI mode: exit 1 unless every NaN/Inf fault was detected and \
+             no exception escaped the guard.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Inject seeded faults and measure how the runtime guard degrades.")
+    Term.(const fault_campaign $ opt_net_arg $ seed_arg $ width_arg
+          $ trials_arg $ scenes_arg $ lat_limit_arg $ time_limit_arg
+          $ cores_arg $ reverify $ smoke)
+
+let fault_cmd =
+  Cmd.group
+    (Cmd.info "fault" ~doc:"Fault-injection experiments on the predictor.")
+    [ fault_campaign_cmd ]
+
+let guard_run net_path seed width scenes lat_limit time_limit cores
+    demo_fault =
+  let net = load_or_synthesize net_path ~seed ~width in
+  let envelope = derive_envelope ~lat_limit ~time_limit ~cores net in
+  let scenes = record_scenes ~seed ~n:scenes in
+  let subject, channel =
+    if not demo_fault then (net, None)
+    else begin
+      let rng = Linalg.Rng.create (seed + 3) in
+      match Fault.Model.sample ~rng net with
+      | Fault.Model.Network_fault nf as f ->
+          Printf.printf "injecting: %s\n" (Fault.Model.describe f);
+          (Fault.Model.inject nf net, None)
+      | Fault.Model.Input_fault inf as f ->
+          Printf.printf "injecting: %s\n" (Fault.Model.describe f);
+          (net, Some (Fault.Model.input_channel inf))
+    end
+  in
+  let guard = Guard.make ~envelope subject in
+  Array.iter
+    (fun scene ->
+      let input =
+        match channel with
+        | Some ch -> Fault.Model.corrupt ch scene
+        | None -> scene
+      in
+      ignore (Guard.predict guard input))
+    scenes;
+  print_string (Guard.render_diagnostics (Guard.diagnostics guard))
+
+let guard_cmd =
+  let demo_fault =
+    Arg.(
+      value & flag
+      & info [ "demo-fault" ]
+          ~doc:"Inject one seeded fault first, to demonstrate degradation.")
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:
+         "Replay scenes through the runtime safety monitor and print its \
+          diagnostics.")
+    Term.(const guard_run $ opt_net_arg $ seed_arg $ width_arg $ scenes_arg
+          $ lat_limit_arg $ time_limit_arg $ cores_arg $ demo_fault)
+
 (* {1 certify} *)
 
 let certify seed width samples epochs cores =
@@ -272,5 +451,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
-            simulate_cmd; certify_cmd;
+            simulate_cmd; certify_cmd; fault_cmd; guard_cmd;
           ]))

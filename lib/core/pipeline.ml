@@ -38,6 +38,8 @@ type artifacts = {
   scenario : Interval.Box.box;
   verification : Verify.Driver.max_result;
   proof : Verify.Driver.proof_result;
+  guard_envelope : Guard.envelope;
+  guard_check : Guard.diagnostics;
 }
 
 let run ?(progress = fun _ -> ()) config =
@@ -92,6 +94,24 @@ let run ?(progress = fun _ -> ()) config =
       ~time_limit:config.verify_time_limit ~cores:config.verify_cores
       ~components:config.components ~threshold:config.threshold net scenario
   in
+  progress "runtime guard: turning the proven bound into a monitor";
+  let guard_envelope =
+    Guard.envelope_of_verification ~components:config.components
+      ~threshold:config.threshold verification
+  in
+  (* Sanity replay: the certified network on its own (sanitized) training
+     scenes should stay almost entirely Nominal under the envelope the
+     verifier just proved. This is the same guard the deployment path
+     wraps around the predictor. *)
+  let guard = Guard.make ~envelope:guard_envelope net in
+  Array.iter
+    (fun scene -> ignore (Guard.predict guard scene))
+    clean.Dataset.inputs;
+  let guard_check = Guard.diagnostics guard in
+  progress
+    (Printf.sprintf "  %d/%d scenes nominal under lat limit %.3f m/s"
+       guard_check.Guard.nominal guard_check.Guard.predictions
+       guard_envelope.Guard.lat_limit);
   {
     used = config;
     audit;
@@ -103,6 +123,8 @@ let run ?(progress = fun _ -> ()) config =
     scenario;
     verification;
     proof;
+    guard_envelope;
+    guard_check;
   }
 
 type verdict = {
@@ -173,4 +195,10 @@ let render_report a =
   Buffer.add_string buf (Pillar.render_table ~evidence ());
   Buffer.add_string buf "\n";
   Buffer.add_string buf (Sanitizer.render_report a.audit);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "runtime guard: lat limit %.3f m/s (proven bound capped at %.1f)\n"
+       a.guard_envelope.Guard.lat_limit a.used.threshold);
+  Buffer.add_string buf (Guard.render_diagnostics a.guard_check);
   Buffer.contents buf

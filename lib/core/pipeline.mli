@@ -10,7 +10,11 @@
     + quantify why MC/DC cannot carry the correctness argument;
     + {b pillar B}: formally verify the safety property "if there is a
       vehicle on the left, never suggest a large left lateral velocity"
-      by MILP, on the vehicle-on-left scenario box. *)
+      by MILP, on the vehicle-on-left scenario box;
+    + derive the {b runtime guard} envelope from the proven bound and
+      sanity-replay the sanitized scenes through the guarded predictor
+      ({!Guard}), closing the loop from offline proof to online
+      monitoring. *)
 
 type config = {
   seed : int;
@@ -42,6 +46,12 @@ type artifacts = {
   scenario : Interval.Box.box;
   verification : Verify.Driver.max_result;  (** pillar B *)
   proof : Verify.Driver.proof_result;
+  guard_envelope : Guard.envelope;
+      (** runtime envelope derived from the proven bound (capped by the
+          property threshold) — what a deployment wraps the predictor in *)
+  guard_check : Guard.diagnostics;
+      (** sanity replay of the sanitized scenes through the guarded
+          certified network: almost everything should be [Nominal] *)
 }
 
 val run : ?progress:(string -> unit) -> config -> artifacts

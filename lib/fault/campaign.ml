@@ -1,0 +1,311 @@
+type trial = {
+  fault : Model.t;
+  detected : bool;
+  nan_raw : bool;
+  nan_detected : bool;
+  violation_raw : bool;
+  violation_detected : bool;
+  silent : bool;
+  max_deviation : float;
+  fallbacks : int;
+  escaped_exception : bool;
+}
+
+type reverification = {
+  rv_fault : Model.t;
+  rv_empirical_max : float;
+  rv_formal_bound : float;
+  rv_sound : bool;
+}
+
+type report = {
+  trials : trial array;
+  scenes : int;
+  detected : int;
+  nan_trials : int;
+  nan_detected : int;
+  violation_trials : int;
+  violations_detected : int;
+  silent : int;
+  benign : int;
+  escaped_exceptions : int;
+  total_fallbacks : int;
+  reverified : reverification list;
+  elapsed : float;
+}
+
+let worst_component_lat ~components out =
+  let worst = ref neg_infinity in
+  for k = 0 to components - 1 do
+    let v = out.(Nn.Gmm.mu_lat_index ~components k) in
+    if v > !worst then worst := v
+  done;
+  !worst
+
+(* Unguarded evaluation of the faulted predictor on one input: did the
+   action the actuator would receive come out NaN/Inf (raw output
+   non-finite, the GMM decode overflowing — exp of a huge logit is inf,
+   softmax inf/inf is NaN — or a raised exception), and what is the
+   worst-case component lateral velocity the verifier's objective would
+   see? *)
+type raw_verdict = Raw_nan | Raw_finite of float
+
+let raw_eval ~components net input =
+  match Nn.Network.forward net input with
+  | exception _ -> Raw_nan
+  | out ->
+      if Array.exists (fun x -> not (Float.is_finite x)) out then Raw_nan
+      else begin
+        match Nn.Gmm.decode ~components out with
+        | exception _ -> Raw_nan
+        | mixture ->
+            let lat, lon = Nn.Gmm.mean mixture in
+            if not (Float.is_finite lat && Float.is_finite lon) then Raw_nan
+            else Raw_finite (worst_component_lat ~components out)
+      end
+
+let network_params_finite net =
+  let ok = ref true in
+  for i = 0 to Nn.Network.num_layers net - 1 do
+    let l = Nn.Network.layer net i in
+    let w = l.Nn.Layer.weights in
+    for r = 0 to Linalg.Mat.rows w - 1 do
+      for c = 0 to Linalg.Mat.cols w - 1 do
+        if not (Float.is_finite (Linalg.Mat.get w r c)) then ok := false
+      done
+    done;
+    Array.iter (fun b -> if not (Float.is_finite b) then ok := false)
+      l.Nn.Layer.bias
+  done;
+  !ok
+
+(* The tightest box that contains every replayed scene: the formal bound
+   over it must dominate anything observed during replay. *)
+let bounding_box scenes =
+  let dim = Array.length scenes.(0) in
+  Array.init dim (fun j ->
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun s ->
+          if s.(j) < !lo then lo := s.(j);
+          if s.(j) > !hi then hi := s.(j))
+        scenes;
+      Interval.make (!lo -. 1e-9) (!hi +. 1e-9))
+
+(* Search for a single bit flip that provably drives the unguarded path
+   non-finite on one of the given scenes. Bit 62 is the top exponent
+   bit: flipping it turns an ordinary weight into ~1e307, which
+   overflows to Inf in the next matvec for ~2% of coordinates. Used by
+   the CI smoke to make the "every NaN/Inf fault is detected" assertion
+   non-vacuous — sampled 64-bit-uniform flips hit this case too rarely. *)
+let find_nan_fault ~components ~scenes net =
+  let exception Found of Model.t in
+  try
+    for layer = 0 to Nn.Network.num_layers net - 1 do
+      let l = Nn.Network.layer net layer in
+      for row = 0 to Nn.Layer.output_dim l - 1 do
+        for col = 0 to Nn.Layer.input_dim l - 1 do
+          let nf = Model.Weight_bit_flip { layer; row; col; bit = 62 } in
+          let faulted = Model.inject nf net in
+          if
+            Array.exists
+              (fun s -> raw_eval ~components faulted s = Raw_nan)
+              scenes
+          then raise (Found (Model.Network_fault nf))
+        done
+      done
+    done;
+    None
+  with Found f -> Some f
+
+let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
+    ?(reverify_time_limit = 5.0) ?(progress = fun _ _ -> ()) ?(faults = [])
+    ~scenes ~trials net =
+  if Array.length scenes = 0 then invalid_arg "Campaign.run: no scenes";
+  if trials <= 0 && faults = [] then
+    invalid_arg "Campaign.run: trials must be positive";
+  let components = envelope.Guard.components in
+  let start = Unix.gettimeofday () in
+  (* Clean-predictor reference actions, for the silent-corruption test. *)
+  let reference_lat =
+    Array.map
+      (fun s ->
+        match Nn.Network.forward net s with
+        | exception _ -> 0.0
+        | out -> (
+            match Nn.Gmm.decode ~components out with
+            | exception _ -> 0.0
+            | mixture ->
+                let lat, _ = Nn.Gmm.mean mixture in
+                if Float.is_finite lat then lat else 0.0))
+      scenes
+  in
+  (* The explicit faults run first, then the sampled ones; sampling is
+     sequential so the campaign stays bit-reproducible from the seed. *)
+  let planned =
+    let sampled = Array.make (max 0 trials) None in
+    for i = 0 to Array.length sampled - 1 do
+      sampled.(i) <- Some (Model.sample ~rng net)
+    done;
+    Array.append (Array.of_list faults)
+      (Array.map Option.get sampled)
+  in
+  let run_trial i fault =
+    progress i fault;
+    let faulted_net, channel =
+      match fault with
+      | Model.Network_fault nf -> (Model.inject nf net, None)
+      | Model.Input_fault f -> (net, Some (Model.input_channel f))
+    in
+    let guard = Guard.make ~envelope ?clamp_band faulted_net in
+    let detected = ref false and escaped = ref false in
+    let nan_raw = ref false and nan_all_tripped = ref true in
+    let violation_raw = ref false and violation_all_flagged = ref true in
+    let max_deviation = ref 0.0 in
+    Array.iteri
+      (fun si scene ->
+        let input =
+          match channel with
+          | Some ch -> Model.corrupt ch scene
+          | None -> scene
+        in
+        let raw = raw_eval ~components faulted_net input in
+        match Guard.predict guard input with
+        | exception _ -> escaped := true
+        | (glat, _glon), state ->
+            if state <> Guard.Nominal then detected := true;
+            (match raw with
+             | Raw_nan ->
+                 nan_raw := true;
+                 if state <> Guard.Fallback then nan_all_tripped := false
+             | Raw_finite worst ->
+                 if worst > envelope.Guard.lat_limit then begin
+                   violation_raw := true;
+                   if state = Guard.Nominal then violation_all_flagged := false
+                 end);
+            let dev = Float.abs (glat -. reference_lat.(si)) in
+            if Float.is_finite dev && dev > !max_deviation then
+              max_deviation := dev)
+      scenes;
+    let d = Guard.diagnostics guard in
+    {
+      fault;
+      detected = !detected;
+      nan_raw = !nan_raw;
+      nan_detected = !nan_raw && !nan_all_tripped;
+      violation_raw = !violation_raw;
+      violation_detected = !violation_raw && !violation_all_flagged;
+      silent = (not !detected) && !max_deviation > silent_tolerance;
+      max_deviation = !max_deviation;
+      fallbacks = d.Guard.fallbacks;
+      escaped_exception = !escaped;
+    }
+  in
+  let trial_results = Array.mapi run_trial planned in
+  (* Re-verify a sample of the faulted networks by MILP: the empirical
+     maximum seen during replay must stay below the formal bound. *)
+  let reverified =
+    if reverify <= 0 then []
+    else begin
+      let box = bounding_box scenes in
+      let taken = ref 0 in
+      Array.to_list trial_results
+      |> List.filter_map (fun tr ->
+             match tr.fault with
+             | Model.Input_fault _ -> None
+             | Model.Network_fault nf ->
+                 if !taken >= reverify then None
+                 else begin
+                   let faulted = Model.inject nf net in
+                   if not (network_params_finite faulted) then None
+                   else
+                     match
+                       Verify.Driver.max_lateral_velocity
+                         ~time_limit:reverify_time_limit ~components faulted box
+                     with
+                     | exception _ ->
+                         (* Encoder overflow on extreme corruptions
+                            (infinite propagated bounds): not
+                            MILP-checkable, skip. *)
+                         None
+                     | r ->
+                         incr taken;
+                         let empirical =
+                           Array.fold_left
+                             (fun acc s ->
+                               match raw_eval ~components faulted s with
+                               | Raw_nan -> acc
+                               | Raw_finite w -> Float.max acc w)
+                             neg_infinity scenes
+                         in
+                         let bound = r.Verify.Driver.upper_bound in
+                         Some
+                           {
+                             rv_fault = tr.fault;
+                             rv_empirical_max = empirical;
+                             rv_formal_bound = bound;
+                             rv_sound = empirical <= bound +. 1e-4;
+                           }
+                 end)
+    end
+  in
+  let count f = Array.fold_left (fun n t -> if f t then n + 1 else n) 0 trial_results in
+  {
+    trials = trial_results;
+    scenes = Array.length scenes;
+    detected = count (fun t -> t.detected);
+    nan_trials = count (fun t -> t.nan_raw);
+    nan_detected = count (fun t -> t.nan_detected);
+    violation_trials = count (fun t -> t.violation_raw);
+    violations_detected = count (fun t -> t.violation_detected);
+    silent = count (fun t -> t.silent);
+    benign = count (fun t -> (not t.detected) && not t.silent);
+    escaped_exceptions = count (fun t -> t.escaped_exception);
+    total_fallbacks =
+      Array.fold_left (fun n t -> n + t.fallbacks) 0 trial_results;
+    reverified;
+    elapsed = Unix.gettimeofday () -. start;
+  }
+
+let percent num den =
+  if den = 0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let n = Array.length r.trials in
+  Buffer.add_string buf
+    (Printf.sprintf "fault campaign: %d trials x %d scenes (%.1fs)\n" n r.scenes
+       r.elapsed);
+  Buffer.add_string buf
+    (Printf.sprintf "  detected (guard tripped)    %4d  %s\n" r.detected
+       (percent r.detected n));
+  Buffer.add_string buf
+    (Printf.sprintf "  nan/inf faults              %4d  detected %s\n"
+       r.nan_trials
+       (percent r.nan_detected r.nan_trials));
+  Buffer.add_string buf
+    (Printf.sprintf "  envelope violations         %4d  detected %s\n"
+       r.violation_trials
+       (percent r.violations_detected r.violation_trials));
+  Buffer.add_string buf
+    (Printf.sprintf "  silent corruptions          %4d  %s\n" r.silent
+       (percent r.silent n));
+  Buffer.add_string buf
+    (Printf.sprintf "  benign                      %4d  %s\n" r.benign
+       (percent r.benign n));
+  Buffer.add_string buf
+    (Printf.sprintf "  escaped exceptions          %4d  (must be 0)\n"
+       r.escaped_exceptions);
+  Buffer.add_string buf
+    (Printf.sprintf "  fallback predictions        %4d\n" r.total_fallbacks);
+  if r.reverified <> [] then begin
+    Buffer.add_string buf "  MILP re-verification of faulted networks:\n";
+    List.iter
+      (fun rv ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-52s empirical %8.3f <= bound %8.3f  %s\n"
+             (Model.describe rv.rv_fault) rv.rv_empirical_max rv.rv_formal_bound
+             (if rv.rv_sound then "ok" else "UNSOUND")))
+      r.reverified
+  end;
+  Buffer.contents buf

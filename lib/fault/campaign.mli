@@ -1,0 +1,108 @@
+(** Fault-injection campaigns: inject N seeded faults, replay recorded
+    scenes through the guarded faulted predictor, and report how the
+    runtime monitor degraded.
+
+    Per trial, one fault is drawn ({!Model.sample}), injected (into the
+    network, or into the input stream for sensor faults) and every scene
+    is replayed through a fresh {!Guard.t} around the faulted predictor.
+    The unguarded faulted outputs are evaluated alongside to classify
+    the trial:
+
+    - {e nan}: the unguarded faulted path delivered NaN/Inf to the
+      actuator — raw network output non-finite, the GMM decode
+      overflowed (softmax of huge logits), or the forward pass raised;
+    - {e violation}: the raw worst-case component lateral velocity
+      exceeded the verified envelope on some scene;
+    - {e detected}: the guard left [Nominal] at least once;
+    - {e silent}: undetected, but the guarded action deviates from the
+      clean predictor's by more than [silent_tolerance] — corruption the
+      envelope monitor cannot see;
+    - {e benign}: undetected and within tolerance.
+
+    A sample of the faulted networks is optionally re-verified by MILP,
+    comparing the empirical maximum observed during replay against the
+    formally proven bound (the empirical value must never exceed it).
+
+    Campaigns are bit-reproducible: the same seed yields the same fault
+    list and the same counts. *)
+
+type trial = {
+  fault : Model.t;
+  detected : bool;       (** guard left [Nominal] at least once *)
+  nan_raw : bool;
+      (** unguarded path delivered NaN/Inf (raw output, decode overflow
+          or a raised exception) *)
+  nan_detected : bool;   (** every such scene ended in [Fallback] *)
+  violation_raw : bool;  (** unguarded worst-lat exceeded the envelope *)
+  violation_detected : bool;
+      (** every such scene was flagged ([Clamped] or [Fallback]) *)
+  silent : bool;
+  max_deviation : float;
+      (** max |guarded lat - clean lat| over the replay (m/s) *)
+  fallbacks : int;       (** fallback predictions during the replay *)
+  escaped_exception : bool;  (** an exception escaped {!Guard.predict} *)
+}
+
+type reverification = {
+  rv_fault : Model.t;
+  rv_empirical_max : float;
+      (** max worst-lat of the faulted net over the replayed scenes *)
+  rv_formal_bound : float;
+      (** MILP-proven upper bound over the scenes' bounding box *)
+  rv_sound : bool;  (** empirical <= formal bound (must hold) *)
+}
+
+type report = {
+  trials : trial array;
+  scenes : int;           (** scenes replayed per trial *)
+  detected : int;
+  nan_trials : int;
+  nan_detected : int;
+  violation_trials : int;
+  violations_detected : int;
+  silent : int;
+  benign : int;
+  escaped_exceptions : int;  (** must be 0: the guard never leaks *)
+  total_fallbacks : int;
+  reverified : reverification list;
+  elapsed : float;
+}
+
+val run :
+  rng:Linalg.Rng.t ->
+  envelope:Guard.envelope ->
+  ?clamp_band:float ->
+  ?silent_tolerance:float ->
+  ?reverify:int ->
+  ?reverify_time_limit:float ->
+  ?progress:(int -> Model.t -> unit) ->
+  ?faults:Model.t list ->
+  scenes:Linalg.Vec.t array ->
+  trials:int ->
+  Nn.Network.t ->
+  report
+(** [silent_tolerance] defaults to 0.05 m/s. [reverify] (default 0) is
+    how many faulted networks to re-verify by MILP with
+    [reverify_time_limit] seconds each (default 5 s); faulted networks
+    whose parameters are no longer finite (or whose bounds overflow the
+    encoder) are skipped. [progress] is called with each trial index and
+    fault before the replay. [faults] are explicit faults run as the
+    first trials (in addition to the [trials] sampled ones) — the CI
+    smoke uses this to pin a known NaN-producing flip. Raises
+    [Invalid_argument] when [scenes] is empty or when there is nothing
+    to run ([trials <= 0] and no explicit faults). *)
+
+val find_nan_fault :
+  components:int ->
+  scenes:Linalg.Vec.t array ->
+  Nn.Network.t ->
+  Model.t option
+(** Scan single top-exponent-bit (bit 62) weight flips for one that
+    drives the unguarded prediction path non-finite on at least one of
+    [scenes]. Uniformly sampled flips rarely overflow (the top exponent
+    bit is 1 in 64, and only ~2% of coordinates propagate), so the CI
+    smoke injects the found fault explicitly to exercise the NaN
+    detection path deterministically. *)
+
+val render : report -> string
+(** Campaign summary table: rates plus the re-verification outcomes. *)

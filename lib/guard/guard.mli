@@ -1,0 +1,113 @@
+(** Runtime safety monitor for the motion predictor.
+
+    The verifier proves an envelope offline ("the suggested lateral
+    velocity never exceeds [u] on the scenario box"); this module turns
+    that proven bound into a runtime assertion and makes the prediction
+    path degrade gracefully instead of crashing or silently violating
+    the envelope when faults arrive after certification — bit flips in
+    weights, stuck neurons, frozen sensors (the gap nn-dependability-kit
+    style runtime monitors target).
+
+    Every prediction is classified into one of three typed states:
+
+    - [Nominal]: the network output is finite and inside the envelope;
+      it is returned unchanged.
+    - [Clamped]: the lateral velocity exceeds the envelope by at most
+      the clamp band; it is saturated to the envelope and returned.
+    - [Fallback]: the output is NaN/Inf, wildly out of envelope, or the
+      forward pass raised — the physics-based fallback predictor
+      (constant-lane IDM extrapolation) supplies the action instead.
+
+    The guard never raises and always returns finite actions, whatever
+    the state of the wrapped network or the input vector. *)
+
+(** {1 Envelope} *)
+
+type envelope = {
+  lat_limit : float;
+      (** proven upper bound on the suggested lateral velocity (m/s);
+          any prediction above it trips the monitor *)
+  output_limit : float;
+      (** sanity bound on action magnitudes (m/s, m/s^2): beyond this
+          the output is treated as corrupted rather than clampable *)
+  components : int;  (** GMM components of the predictor's head *)
+}
+
+val envelope :
+  components:int -> ?output_limit:float -> lat_limit:float -> unit -> envelope
+(** [output_limit] defaults to [20.]. Raises [Invalid_argument] if
+    [lat_limit] is not finite. *)
+
+val envelope_of_verification :
+  components:int ->
+  ?output_limit:float ->
+  ?threshold:float ->
+  Verify.Driver.max_result ->
+  envelope
+(** Derive the runtime envelope from a verification run: the proven
+    [upper_bound] becomes [lat_limit]. [threshold] (e.g. the 1.5 m/s
+    property limit), when given, caps the envelope from above — useful
+    when the bound is loose because the solve timed out. Falls back to
+    [output_limit] when the verifier produced no finite bound. *)
+
+(** {1 Monitor} *)
+
+type state = Nominal | Clamped | Fallback
+
+val state_name : state -> string
+
+(** Why the monitor last left [Nominal]. *)
+type trip =
+  | Non_finite_output of { index : int }
+      (** raw network output [index] was NaN or infinite *)
+  | Envelope_exceeded of { lat : float; limit : float }
+  | Output_out_of_range of { lat : float; lon : float; limit : float }
+  | Forward_raised of { exn : string }
+
+val trip_message : trip -> string
+
+type diagnostics = {
+  predictions : int;
+  nominal : int;
+  clamped : int;
+  fallbacks : int;
+  nan_trips : int;       (** NaN/Inf raw outputs detected *)
+  envelope_trips : int;  (** envelope violations detected (clamped or not) *)
+  exception_trips : int; (** exceptions caught from the forward pass *)
+  last_trip : trip option;
+}
+
+type t
+
+val make :
+  envelope:envelope ->
+  ?clamp_band:float ->
+  ?fallback:(Linalg.Vec.t -> float * float) ->
+  Nn.Network.t ->
+  t
+(** Wrap a network. [clamp_band] (default [1.0] m/s) is how far beyond
+    [lat_limit] a lateral velocity may be and still be saturated rather
+    than handed to the fallback. [fallback] defaults to
+    {!idm_fallback}. The guard reads but never mutates the network. *)
+
+val network : t -> Nn.Network.t
+val guard_envelope : t -> envelope
+
+val predict : t -> Linalg.Vec.t -> (float * float) * state
+(** [(lat, lon), state]: the (possibly clamped or fallback) action mean.
+    Never raises; both action components are always finite. *)
+
+val diagnostics : t -> diagnostics
+val reset : t -> unit
+(** Zero the counters and clear [last_trip]. *)
+
+val render_diagnostics : diagnostics -> string
+
+(** {1 Physics fallback} *)
+
+val idm_fallback : Linalg.Vec.t -> float * float
+(** Constant-lane extrapolation from the 84-d feature vector: lateral
+    velocity 0, longitudinal acceleration from the IDM car-following law
+    ({!Highway.Idm}) towards the front neighbour decoded from the
+    feature blocks. Non-finite features are replaced by conservative
+    defaults, so the result is finite for any input. *)

@@ -36,6 +36,14 @@ type tableau = {
 }
 
 exception Infeasible_problem
+exception Numerical_error of string
+
+(* Fail fast when NaN/Inf appears in the tableau: continuing would
+   either cycle (NaN comparisons are all false, so no entering column is
+   ever found and a garbage basis is reported "optimal") or return a
+   meaningless objective. *)
+let check_finite what x =
+  if not (Float.is_finite x) then raise (Numerical_error what)
 
 let row_activity_bounds lo hi (terms : (int * float) array) =
   let alo = ref 0.0 and ahi = ref 0.0 in
@@ -97,6 +105,10 @@ let build problem ~negate =
   let xb = Array.make m 0.0 in
   Array.iteri
     (fun i row ->
+      Array.iter
+        (fun (_, c) -> check_finite "non-finite constraint coefficient" c)
+        row.Problem.terms;
+      check_finite "non-finite constraint rhs" row.Problem.rhs;
       let slo, shi = slack_bounds vlo vhi row in
       let si = nstruct + i in
       lo.(si) <- slo;
@@ -155,6 +167,8 @@ let pivot_tolerance = 1e-8
 let select_entering tb ~bland eps =
   let best = ref (-1) and best_score = ref eps in
   let consider j score =
+    if Float.is_nan score then
+      raise (Numerical_error "NaN reduced cost in pricing");
     if bland then begin
       if score > eps && !best < 0 then best := j
     end
@@ -240,6 +254,8 @@ let pivot tb ~rrow ~q ~entering_value ~leaving_to_lower =
   let alpha = trow.(q) in
   let leaving = tb.basis.(rrow) in
   let inv = 1.0 /. alpha in
+  check_finite "non-finite pivot element" inv;
+  check_finite "non-finite entering value" entering_value;
   for j = 0 to tb.n - 1 do
     trow.(j) <- trow.(j) *. inv
   done;
@@ -294,6 +310,7 @@ let phase_objective tb =
      | At_lower -> if tb.cost.(j) <> 0.0 then total := !total +. (tb.cost.(j) *. tb.lo.(j))
      | At_upper -> if tb.cost.(j) <> 0.0 then total := !total +. (tb.cost.(j) *. tb.hi.(j)))
   done;
+  if Float.is_nan !total then raise (Numerical_error "NaN objective value");
   !total
 
 (* Run primal iterations for the current phase until no improving column
@@ -383,6 +400,7 @@ let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
               let obj = Problem.objective problem in
               Array.fill tb.cost 0 tb.n 0.0;
               for j = 0 to tb.nstruct - 1 do
+                check_finite "non-finite objective coefficient" obj.(j);
                 tb.cost.(j) <- (if negate then -.obj.(j) else obj.(j))
               done;
               recompute_reduced_costs tb;

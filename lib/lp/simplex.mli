@@ -12,6 +12,15 @@
     Primal unboundedness cannot occur because every variable carries
     finite bounds (enforced by {!Problem.add_var}). *)
 
+exception Numerical_error of string
+(** Raised as soon as NaN/Inf is detected in the solve: a non-finite
+    constraint coefficient or right-hand side, a NaN reduced cost, a
+    non-finite pivot element, or a NaN objective value. Failing fast
+    beats the alternative — NaN comparisons are all false, so a poisoned
+    tableau silently terminates with a garbage basis reported as
+    [Optimal]. Callers that can degrade (e.g. the parallel MILP solver)
+    catch this and widen their bounds instead of trusting the result. *)
+
 type status =
   | Optimal
   | Infeasible

@@ -13,7 +13,12 @@
    outcome, the incumbent objective and the proven bound agree with the
    sequential result up to [eps] (node/iteration counts and which
    optimal point is found may differ, since exploration order is
-   timing-dependent). *)
+   timing-dependent).
+
+   Robustness: a worker that raises while evaluating a node pushes the
+   node back, bumps [failed_workers] and retires; the search only fails
+   as a whole when every domain has died (see the degradation contract
+   in the interface). *)
 
 open Solver
 
@@ -93,6 +98,7 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
     let in_flight = ref 0 in
     let stopped : outcome option ref = ref None in
     let failure : exn option ref = ref None in
+    let failed = ref 0 in
     (* Incumbent published to every domain; monotone under CAS. *)
     let best : (float array * float) option Atomic.t = Atomic.make None in
     let nodes = Atomic.make 0 in
@@ -199,10 +205,17 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
                   retire children;
                   loop ()
               | exception e ->
+                  (* Degrade instead of killing the whole search: put the
+                     node back (so the open-node bound still covers its
+                     subtree and [best_bound] stays sound), record the
+                     loss, and let this domain retire while the others
+                     keep draining the pool. The exception is re-raised
+                     after the join only if every worker died. *)
                   Mutex.lock mutex;
+                  Search.Heap.push pool node;
                   decr in_flight;
+                  incr failed;
                   if !failure = None then failure := Some e;
-                  if !stopped = None then stopped := Some Time_limit;
                   Condition.broadcast work_available;
                   Mutex.unlock mutex
             end
@@ -212,7 +225,11 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
     let domains = Array.init (cores - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains;
-    (match !failure with Some e -> raise e | None -> ());
+    (* All domains lost: there is nobody left to make progress, so the
+       degraded-result contract cannot be honoured — propagate. *)
+    (match !failure with
+     | Some e when !failed >= cores -> raise e
+     | _ -> ());
     let incumbent = Atomic.get best in
     let open_bound =
       match Search.Heap.peek_bound pool with
@@ -238,6 +255,7 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
       nodes = Atomic.get nodes;
       elapsed = Unix.gettimeofday () -. start;
       lp_iterations = Atomic.get lp_iters;
+      failed_workers = !failed;
     }
   end
 

@@ -16,7 +16,17 @@
 
     The [primal_heuristic] callback is invoked concurrently from worker
     domains and must therefore be thread-safe (the verifier's forward-run
-    heuristic only reads the network and encoding, which qualifies). *)
+    heuristic only reads the network and encoding, which qualifies).
+
+    {b Degradation contract.} A worker that raises during node
+    evaluation (e.g. {!Lp.Simplex.Numerical_error}) does not abort the
+    search: its node is pushed back into the shared pool — so the open
+    bound still covers that subtree and [best_bound] stays sound — the
+    loss is counted in [failed_workers], and the surviving domains keep
+    draining the pool. The exception is re-raised only when {e every}
+    worker has died, since then nobody is left to make progress. A
+    result with [failed_workers > 0] is therefore degraded (less
+    parallelism, possibly retried nodes) but never unsound. *)
 
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

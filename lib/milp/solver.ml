@@ -7,6 +7,7 @@ type result = {
   nodes : int;
   elapsed : float;
   lp_iterations : int;
+  failed_workers : int;
 }
 
 type branch_rule = Search.branch_rule =
@@ -73,6 +74,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
       nodes = !nodes;
       elapsed = Unix.gettimeofday () -. start;
       lp_iterations = !lp_iters;
+      failed_workers = 0;
     }
   in
   let rec loop () =

@@ -23,6 +23,10 @@ type result = {
   nodes : int;
   elapsed : float;  (** seconds *)
   lp_iterations : int;  (** total simplex pivots across all nodes *)
+  failed_workers : int;
+      (** worker domains lost to an exception during a parallel solve
+          (see {!Parallel.solve}); always [0] for the sequential solver.
+          A nonzero count flags a degraded — but still sound — result. *)
 }
 
 type branch_rule = Search.branch_rule =

@@ -28,21 +28,43 @@ let to_string net =
   done;
   Buffer.contents buf
 
-let parse_floats line expected what =
+type error =
+  | Syntax of string
+  | Non_finite of { layer : int; what : string }
+  | Dimension_mismatch of string
+
+exception Invalid_network of error
+
+let error_message = function
+  | Syntax what -> "syntax error: " ^ what
+  | Non_finite { layer; what } ->
+      Printf.sprintf "non-finite parameter: layer %d %s" layer what
+  | Dimension_mismatch what -> "dimension mismatch: " ^ what
+
+let syntax fmt = Printf.ksprintf (fun s -> raise (Invalid_network (Syntax s))) fmt
+
+let dimension fmt =
+  Printf.ksprintf (fun s -> raise (Invalid_network (Dimension_mismatch s))) fmt
+
+(* Reject NaN/Inf at parse time: a poisoned parameter would otherwise
+   surface only as corrupted predictions at inference time. *)
+let parse_floats line expected ~layer what =
   let parts =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun s -> s <> "")
   in
+  if parts = [] then syntax "missing %s (truncated input?)" what;
   if List.length parts <> expected then
-    failwith
-      (Printf.sprintf "Io.of_string: %s: expected %d floats, got %d" what
-         expected (List.length parts));
+    dimension "%s: expected %d floats, got %d" what expected (List.length parts);
   Array.of_list
     (List.map
        (fun s ->
          match float_of_string_opt s with
-         | Some f -> f
-         | None -> failwith ("Io.of_string: bad float " ^ s))
+         | Some f ->
+             if not (Float.is_finite f) then
+               raise (Invalid_network (Non_finite { layer; what }));
+             f
+         | None -> syntax "bad float %s in %s" s what)
        parts)
 
 let of_string s =
@@ -51,40 +73,56 @@ let of_string s =
   let pos = ref 0 in
   let next what =
     if !pos >= Array.length lines then
-      failwith ("Io.of_string: unexpected end of input, wanted " ^ what);
+      syntax "unexpected end of input, wanted %s" what;
     let l = lines.(!pos) in
     incr pos;
     l
   in
-  if String.trim (next "magic") <> magic then
-    failwith "Io.of_string: bad magic line";
+  if String.trim (next "magic") <> magic then syntax "bad magic line";
   let nlayers =
     match String.split_on_char ' ' (String.trim (next "layer count")) with
     | [ "layers"; n ] -> (
         match int_of_string_opt n with
         | Some n when n > 0 -> n
-        | Some _ | None -> failwith "Io.of_string: bad layer count")
-    | _ -> failwith "Io.of_string: expected 'layers <n>'"
+        | Some _ | None -> syntax "bad layer count")
+    | _ -> syntax "expected 'layers <n>'"
   in
   let layers =
     Array.init nlayers (fun i ->
         let header = String.trim (next "layer header") in
         match String.split_on_char ' ' header with
         | [ "layer"; out; inp; act ] ->
-            let out = int_of_string out and inp = int_of_string inp in
-            let activation = Activation.of_name act in
+            let out, inp =
+              match (int_of_string_opt out, int_of_string_opt inp) with
+              | Some out, Some inp when out > 0 && inp > 0 -> (out, inp)
+              | _ -> syntax "bad layer dimensions in header: %s" header
+            in
+            let activation =
+              try Activation.of_name act
+              with _ -> syntax "unknown activation %s" act
+            in
             let bias =
-              parse_floats (next "bias") out (Printf.sprintf "layer %d bias" i)
+              parse_floats (next "bias") out ~layer:i
+                (Printf.sprintf "layer %d bias" i)
             in
             let rows =
               Array.init out (fun r ->
-                  parse_floats (next "weights") inp
+                  parse_floats (next "weights") inp ~layer:i
                     (Printf.sprintf "layer %d row %d" i r))
             in
-            Layer.make (Linalg.Mat.of_rows rows) bias activation
-        | _ -> failwith ("Io.of_string: bad layer header: " ^ header))
+            (try Layer.make (Linalg.Mat.of_rows rows) bias activation
+             with Invalid_argument msg -> dimension "layer %d: %s" i msg)
+        | _ -> syntax "bad layer header: %s" header)
   in
-  Network.make layers
+  (* Consecutive layer dimensions are re-checked by [Network.make]; a
+     mismatch there is a typed error, not an untyped invalid_arg. *)
+  try Network.make layers
+  with Invalid_argument msg -> dimension "%s" msg
+
+let of_string_result s =
+  match of_string s with
+  | net -> Ok net
+  | exception Invalid_network e -> Error e
 
 let save path net =
   let oc = open_out path in

@@ -1,0 +1,211 @@
+(* Fault models and the injection campaign: determinism, non-mutation,
+   stuck-at semantics, and the campaign's detection invariants. *)
+
+let components = 3
+
+let make_net seed width =
+  let rng = Linalg.Rng.create seed in
+  Nn.Network.i4xn ~rng ~output_dim:(Nn.Gmm.output_dim ~components) width
+
+let scenes seed n =
+  let rng = Linalg.Rng.create seed in
+  Array.init n (fun _ -> Array.init 84 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+
+let test_flip_bit_involutive () =
+  List.iter
+    (fun bit ->
+      List.iter
+        (fun x ->
+          let flipped = Fault.Model.flip_bit ~bit x in
+          Alcotest.(check bool)
+            (Printf.sprintf "flip bit %d of %g changes it" bit x)
+            true
+            (Int64.bits_of_float flipped <> Int64.bits_of_float x);
+          Alcotest.(check bool)
+            (Printf.sprintf "double flip bit %d of %g restores" bit x)
+            true
+            (Fault.Model.flip_bit ~bit flipped = x
+            || Float.is_nan (Fault.Model.flip_bit ~bit flipped) && Float.is_nan x))
+        [ 0.15; -2.5; 0.0; 1e10 ])
+    [ 0; 31; 51; 52; 62; 63 ]
+
+let test_inject_does_not_mutate () =
+  let net = make_net 3 6 in
+  let x = (scenes 4 1).(0) in
+  let before = Nn.Network.forward net x in
+  let faults =
+    [
+      Fault.Model.Weight_bit_flip { layer = 0; row = 0; col = 0; bit = 62 };
+      Fault.Model.Bias_bit_flip { layer = 1; row = 2; bit = 40 };
+      Fault.Model.Stuck_neuron
+        { layer = 2; neuron = 1; mode = Fault.Model.Stuck_saturation };
+      Fault.Model.Weight_drift { seed = 11; sigma = 0.3 };
+    ]
+  in
+  List.iter (fun f -> ignore (Fault.Model.inject f net)) faults;
+  let after = Nn.Network.forward net x in
+  Alcotest.(check bool) "original network untouched" true
+    (Linalg.Vec.approx_equal ~eps:0.0 before after)
+
+let test_stuck_neuron_semantics () =
+  let net = make_net 5 6 in
+  let zeroed =
+    Fault.Model.inject
+      (Fault.Model.Stuck_neuron { layer = 1; neuron = 2; mode = Fault.Model.Stuck_zero })
+      net
+  in
+  let l = Nn.Network.layer zeroed 1 in
+  for c = 0 to Nn.Layer.input_dim l - 1 do
+    Alcotest.(check (float 0.0)) "weight row zeroed" 0.0
+      (Linalg.Mat.get l.Nn.Layer.weights 2 c)
+  done;
+  Alcotest.(check (float 0.0)) "bias zero" 0.0 l.Nn.Layer.bias.(2);
+  let saturated =
+    Fault.Model.inject
+      (Fault.Model.Stuck_neuron
+         { layer = 1; neuron = 2; mode = Fault.Model.Stuck_saturation })
+      net
+  in
+  let l = Nn.Network.layer saturated 1 in
+  Alcotest.(check (float 0.0)) "bias at saturation level"
+    Fault.Model.saturation_level l.Nn.Layer.bias.(2)
+
+let test_sample_deterministic () =
+  let net = make_net 7 8 in
+  let draw seed =
+    let rng = Linalg.Rng.create seed in
+    List.init 30 (fun _ -> Fault.Model.sample ~rng net)
+  in
+  Alcotest.(check bool) "same seed, same faults" true (draw 42 = draw 42);
+  Alcotest.(check bool) "different seeds differ" true (draw 42 <> draw 43)
+
+let test_sensor_dropout () =
+  let ch = Fault.Model.input_channel (Fault.Model.Sensor_dropout { feature = 3 }) in
+  let v = Array.init 84 (fun i -> float_of_int i +. 1.0) in
+  let c = Fault.Model.corrupt ch v in
+  Alcotest.(check (float 0.0)) "feature dropped" 0.0 c.(3);
+  Alcotest.(check (float 0.0)) "others intact" 5.0 c.(4);
+  Alcotest.(check (float 0.0)) "input not mutated" 4.0 v.(3)
+
+let test_sensor_freeze () =
+  let ch = Fault.Model.input_channel (Fault.Model.Sensor_freeze { feature = 0 }) in
+  let at value =
+    let v = Array.make 84 0.0 in
+    v.(0) <- value;
+    (Fault.Model.corrupt ch v).(0)
+  in
+  Alcotest.(check (float 0.0)) "first value passes" 1.5 (at 1.5);
+  Alcotest.(check (float 0.0)) "later values frozen" 1.5 (at 9.0);
+  Alcotest.(check (float 0.0)) "still frozen" 1.5 (at (-4.0))
+
+let test_stale_hold () =
+  let ch =
+    Fault.Model.input_channel (Fault.Model.Stale_hold { feature = 0; lag = 2 })
+  in
+  let at value =
+    let v = Array.make 84 0.0 in
+    v.(0) <- value;
+    (Fault.Model.corrupt ch v).(0)
+  in
+  (* While the delay line fills, the oldest value is held; afterwards
+     values arrive exactly [lag] samples late. *)
+  Alcotest.(check (float 0.0)) "t=0 sees oldest" 1.0 (at 1.0);
+  Alcotest.(check (float 0.0)) "t=1 still oldest" 1.0 (at 2.0);
+  Alcotest.(check (float 0.0)) "t=2 lagged by 2" 1.0 (at 3.0);
+  Alcotest.(check (float 0.0)) "t=3 lagged by 2" 2.0 (at 4.0)
+
+let campaign ?faults ?(trials = 40) seed =
+  let net = make_net 9 8 in
+  let scenes = scenes 10 25 in
+  let envelope = Guard.envelope ~components ~lat_limit:1.0 () in
+  let rng = Linalg.Rng.create seed in
+  Fault.Campaign.run ~rng ~envelope ?faults ~scenes ~trials net
+
+let test_campaign_reproducible () =
+  let a = campaign 21 and b = campaign 21 in
+  Alcotest.(check int) "detected" a.Fault.Campaign.detected b.Fault.Campaign.detected;
+  Alcotest.(check int) "nan" a.Fault.Campaign.nan_trials b.Fault.Campaign.nan_trials;
+  Alcotest.(check int) "violations" a.Fault.Campaign.violation_trials
+    b.Fault.Campaign.violation_trials;
+  Alcotest.(check int) "silent" a.Fault.Campaign.silent b.Fault.Campaign.silent;
+  Alcotest.(check int) "fallbacks" a.Fault.Campaign.total_fallbacks
+    b.Fault.Campaign.total_fallbacks;
+  Alcotest.(check bool) "same faults" true
+    (Array.for_all2
+       (fun (x : Fault.Campaign.trial) (y : Fault.Campaign.trial) ->
+         x.Fault.Campaign.fault = y.Fault.Campaign.fault)
+       a.Fault.Campaign.trials b.Fault.Campaign.trials)
+
+let test_campaign_invariants () =
+  let r = campaign 22 in
+  let n = Array.length r.Fault.Campaign.trials in
+  Alcotest.(check int) "trial count" 40 n;
+  Alcotest.(check int) "no escaped exceptions" 0
+    r.Fault.Campaign.escaped_exceptions;
+  Alcotest.(check int) "every nan fault detected" r.Fault.Campaign.nan_trials
+    r.Fault.Campaign.nan_detected;
+  Alcotest.(check int) "every violation detected"
+    r.Fault.Campaign.violation_trials r.Fault.Campaign.violations_detected;
+  Alcotest.(check int) "detected/silent/benign partition" n
+    (r.Fault.Campaign.detected + r.Fault.Campaign.silent
+   + r.Fault.Campaign.benign)
+
+let test_campaign_pinned_nan_fault () =
+  (* find_nan_fault locates a single bit flip that drives the unguarded
+     path non-finite; the campaign must classify and detect it. *)
+  let net = make_net 9 8 in
+  let sc = scenes 10 25 in
+  match Fault.Campaign.find_nan_fault ~components ~scenes:sc net with
+  | None -> Alcotest.fail "no NaN-producing bit flip found on I4x8"
+  | Some f ->
+      let r = campaign ~faults:[ f ] ~trials:1 23 in
+      Alcotest.(check bool) "nan trial recorded" true
+        (r.Fault.Campaign.nan_trials >= 1);
+      Alcotest.(check int) "all nan faults detected"
+        r.Fault.Campaign.nan_trials r.Fault.Campaign.nan_detected;
+      Alcotest.(check int) "nothing escaped" 0
+        r.Fault.Campaign.escaped_exceptions
+
+let test_campaign_reverify_sound () =
+  (* Tiny network so the MILP re-verification stays fast: the empirical
+     maximum over the replayed scenes must sit below the formal bound. *)
+  let net = make_net 13 3 in
+  let sc = scenes 14 8 in
+  let envelope = Guard.envelope ~components ~lat_limit:1.0 () in
+  let rng = Linalg.Rng.create 15 in
+  let r =
+    Fault.Campaign.run ~rng ~envelope ~reverify:1 ~reverify_time_limit:10.0
+      ~scenes:sc ~trials:12 net
+  in
+  List.iter
+    (fun rv ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sound: %s" (Fault.Model.describe rv.Fault.Campaign.rv_fault))
+        true rv.Fault.Campaign.rv_sound)
+    r.Fault.Campaign.reverified
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fault"
+    [
+      ( "model",
+        [
+          quick "flip_bit involutive" test_flip_bit_involutive;
+          quick "inject copies" test_inject_does_not_mutate;
+          quick "stuck neuron" test_stuck_neuron_semantics;
+          quick "sample deterministic" test_sample_deterministic;
+        ] );
+      ( "channel",
+        [
+          quick "dropout" test_sensor_dropout;
+          quick "freeze" test_sensor_freeze;
+          quick "stale hold" test_stale_hold;
+        ] );
+      ( "campaign",
+        [
+          quick "reproducible" test_campaign_reproducible;
+          quick "invariants" test_campaign_invariants;
+          quick "pinned nan fault" test_campaign_pinned_nan_fault;
+          quick "reverify sound" test_campaign_reverify_sound;
+        ] );
+    ]

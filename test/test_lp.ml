@@ -185,6 +185,38 @@ let test_degenerate_many_ties () =
   check_status Lp.Simplex.Optimal s;
   Alcotest.(check (float 1e-6)) "objective" 2.0 s.Lp.Simplex.objective
 
+(* NaN anywhere in the tableau makes every comparison false, so without
+   an explicit check the solver would terminate "Optimal" with a garbage
+   basis.  The typed [Numerical_error] turns that silent corruption into
+   a fail-fast. *)
+let raises_numerical_error f =
+  try
+    ignore (f ());
+    false
+  with Lp.Simplex.Numerical_error _ -> true
+
+let test_nan_coefficient_fails_fast () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, Float.nan) ] Lp.Problem.Le 1.0;
+  Alcotest.(check bool) "NaN coefficient rejected" true
+    (raises_numerical_error (fun () -> Lp.Simplex.solve p))
+
+let test_nan_rhs_fails_fast () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0) ] Lp.Problem.Le Float.nan;
+  Alcotest.(check bool) "NaN rhs rejected" true
+    (raises_numerical_error (fun () -> Lp.Simplex.solve p))
+
+let test_nan_objective_fails_fast () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:Float.nan () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 1.5;
+  Alcotest.(check bool) "NaN objective rejected" true
+    (raises_numerical_error (fun () -> Lp.Simplex.solve p))
+
 (* Random LPs: the solver's claimed optimum must be feasible and must
    dominate every feasible sample point. *)
 let gen_lp =
@@ -284,6 +316,9 @@ let () =
           quick "equality chain" test_equality_chain;
           quick "duplicate terms" test_duplicate_terms_merged;
           quick "degenerate ties" test_degenerate_many_ties;
+          quick "nan coefficient" test_nan_coefficient_fails_fast;
+          quick "nan rhs" test_nan_rhs_fails_fast;
+          quick "nan objective" test_nan_objective_fails_fast;
         ] );
       ( "problem",
         [

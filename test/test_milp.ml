@@ -224,6 +224,51 @@ let test_open_bound_stack_matches_heap () =
   Alcotest.(check (float 1e-9)) "same open bound" bfs.Milp.Solver.best_bound
     dfs.Milp.Solver.best_bound
 
+(* The standard knapsack used by the degradation tests (optimum 21). *)
+let degraded_knapsack () =
+  let m = Milp.Model.create () in
+  let values = [| 10.0; 13.0; 7.0; 8.0 |]
+  and weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m
+    (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs))
+    10.0;
+  Milp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  m
+
+let test_parallel_degrades_on_worker_death () =
+  (* A primal heuristic that raises exactly once kills one worker mid
+     evaluation.  The node goes back to the pool, a surviving worker
+     re-evaluates it, and the solve completes with the exact optimum —
+     flagged as degraded via [failed_workers]. *)
+  let m = degraded_knapsack () in
+  let armed = Atomic.make true in
+  let heuristic _ =
+    if Atomic.exchange armed false then failwith "injected worker fault"
+    else None
+  in
+  let r = Milp.Parallel.solve ~cores:2 ~primal_heuristic:heuristic m in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check (float 1e-6)) "optimum survives" 21.0 (incumbent_value r);
+  Alcotest.(check int) "one worker lost" 1 r.Milp.Solver.failed_workers
+
+let test_parallel_reraises_when_all_workers_die () =
+  (* When every worker dies there is nobody left to degrade onto: the
+     first failure must propagate to the caller. *)
+  let m = degraded_knapsack () in
+  let heuristic _ = failwith "poison" in
+  Alcotest.(check bool) "exception propagates" true
+    (try
+       ignore (Milp.Parallel.solve ~cores:2 ~primal_heuristic:heuristic m);
+       false
+     with Failure msg -> msg = "poison")
+
+let test_sequential_reports_no_failed_workers () =
+  let r = Milp.Solver.solve (degraded_knapsack ()) in
+  Alcotest.(check int) "sequential is never degraded" 0
+    r.Milp.Solver.failed_workers
+
 let test_parallel_map_order_and_state () =
   let squares =
     Milp.Parallel.map ~cores:4
@@ -328,6 +373,9 @@ let () =
           quick "solve_min leaves objective" test_solve_min_objective_untouched;
           quick "open bound stack = heap" test_open_bound_stack_matches_heap;
           quick "map order + state" test_parallel_map_order_and_state;
+          quick "degrades on worker death" test_parallel_degrades_on_worker_death;
+          quick "re-raises when all die" test_parallel_reraises_when_all_workers_die;
+          quick "sequential never degraded" test_sequential_reports_no_failed_workers;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -312,17 +312,52 @@ let test_io_save_load_file () =
   Alcotest.check vec "file roundtrip" (Nn.Network.forward net x)
     (Nn.Network.forward net' x)
 
+let io_error s =
+  match Nn.Io.of_string_result s with
+  | Ok _ -> None
+  | Error e -> Some e
+
 let test_io_rejects_garbage () =
-  Alcotest.(check bool) "bad magic" true
+  let is_syntax = function Some (Nn.Io.Syntax _) -> true | _ -> false in
+  Alcotest.(check bool) "bad magic" true (is_syntax (io_error "not a network"));
+  Alcotest.(check bool) "truncated" true
+    (is_syntax (io_error "depnn-network v1\nlayers 2\nlayer 2 2 relu\n"));
+  Alcotest.(check bool) "of_string raises typed exception" true
     (try
        ignore (Nn.Io.of_string "not a network");
        false
-     with Failure _ -> true);
-  Alcotest.(check bool) "truncated" true
-    (try
-       ignore (Nn.Io.of_string "depnn-network v1\nlayers 2\nlayer 2 2 relu\n");
-       false
-     with Failure _ -> true)
+     with Nn.Io.Invalid_network (Nn.Io.Syntax _) -> true)
+
+let test_io_rejects_non_finite () =
+  let text =
+    "depnn-network v1\nlayers 1\nlayer 2 2 relu\n0.5 nan\n1 0\n0 1\n"
+  in
+  (match io_error text with
+   | Some (Nn.Io.Non_finite { layer = 0; what }) ->
+       Alcotest.(check bool) "names the bias" true
+         (String.length what > 0)
+   | _ -> Alcotest.fail "NaN bias not rejected as Non_finite");
+  let text =
+    "depnn-network v1\nlayers 1\nlayer 2 2 relu\n0.5 0.5\n1 inf\n0 1\n"
+  in
+  match io_error text with
+  | Some (Nn.Io.Non_finite { layer = 0; _ }) -> ()
+  | _ -> Alcotest.fail "Inf weight not rejected as Non_finite"
+
+let test_io_rejects_dimension_mismatch () =
+  (* Bias row one short for the declared output dimension. *)
+  let text = "depnn-network v1\nlayers 1\nlayer 2 2 relu\n0.5\n1 0\n0 1\n" in
+  (match io_error text with
+   | Some (Nn.Io.Dimension_mismatch _) -> ()
+   | _ -> Alcotest.fail "short bias not rejected as Dimension_mismatch");
+  (* Consecutive layer dims disagree (2 outputs feeding a 3-input layer). *)
+  let text =
+    "depnn-network v1\nlayers 2\nlayer 2 2 relu\n0 0\n1 0\n0 1\n\
+     layer 1 3 relu\n0\n1 1 1\n"
+  in
+  match io_error text with
+  | Some (Nn.Io.Dimension_mismatch _) -> ()
+  | _ -> Alcotest.fail "layer-dim mismatch not rejected as Dimension_mismatch"
 
 let prop_io_roundtrip_random =
   QCheck.Test.make ~name:"io roundtrip preserves forward" ~count:30
@@ -382,6 +417,8 @@ let () =
           quick "roundtrip" test_io_roundtrip_exact;
           quick "file" test_io_save_load_file;
           quick "garbage" test_io_rejects_garbage;
+          quick "non-finite" test_io_rejects_non_finite;
+          quick "dimension mismatch" test_io_rejects_dimension_mismatch;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -216,6 +216,37 @@ let test_time_limit_respected () =
   Alcotest.(check bool) "flagged or solved" true
     (r.Verify.Driver.timed_out || r.Verify.Driver.optimal)
 
+(* With a zero time budget the driver can do no branching at all.  It
+   must still flag the timeout, report an upper bound that soundly
+   covers anything sampling can find, and never fabricate a witness it
+   cannot replay through the real network. *)
+let prop_zero_time_limit_honest =
+  QCheck.Test.make ~name:"zero time limit: flagged, sound, honest" ~count:10
+    (QCheck.make QCheck.Gen.(pair (int_range 0 999) (int_range 2 5)))
+    (fun (seed, width) ->
+      let net =
+        small_net seed [ 6; width; width; Nn.Gmm.output_dim ~components:2 ]
+      in
+      let b0 = box 6 0.3 in
+      let r =
+        Verify.Driver.max_lateral_velocity ~time_limit:0.0 ~components:2 net b0
+      in
+      let rng = Linalg.Rng.create (seed + 1) in
+      let sampled, _ =
+        Verify.Driver.sampled_max_lateral_velocity ~rng ~samples:300
+          ~components:2 net b0
+      in
+      r.Verify.Driver.timed_out
+      && (not r.Verify.Driver.optimal)
+      && sampled <= r.Verify.Driver.upper_bound +. 1e-5
+      && (match r.Verify.Driver.witness with
+         | None -> true
+         | Some w ->
+             Interval.Box.contains b0 w.Verify.Driver.input
+             && Linalg.Vec.approx_equal ~eps:1e-6
+                  (Nn.Network.forward net w.Verify.Driver.input)
+                  w.Verify.Driver.outputs))
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -245,4 +276,6 @@ let () =
           slow "proof cheaper" test_proof_cheaper_than_max;
           slow "time limit" test_time_limit_respected;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_zero_time_limit_honest ] );
     ]
