@@ -8,6 +8,7 @@
      dune exec bench/main.exe ablation   -- encoder/solver ablations
      dune exec bench/main.exe fault      -- fault campaign + guard overhead
      dune exec bench/main.exe micro      -- Bechamel microbenchmarks
+     dune exec bench/main.exe warm       -- warm vs cold B&B pivot report
 
    [micro --json] additionally writes the ns/run numbers to
    BENCH_milp.json so successive PRs can track the perf trajectory.
@@ -421,6 +422,28 @@ let micro ?(json = false) () =
     |> List.mapi (fun i (v, _, _) ->
            if i mod 2 = 0 then (v, 0.0, 0.0) else (v, 1.0, 1.0))
   in
+  (* Warm vs cold node re-solve: the other half of the node hot path.
+     Fix a depth-12 chain of binaries (a typical B&B node) and compare a
+     from-scratch two-phase solve of the child LP against a dual-simplex
+     resolve from the parent's optimal basis. *)
+  let node_lp = Lp.Problem.copy enc_lp in
+  Lp.Problem.set_objective node_lp (Encoding.Encoder.output_objective enc 0);
+  let parent = Lp.Simplex.solve node_lp in
+  List.iter
+    (fun (v, lo, hi) -> Lp.Problem.set_bounds node_lp v ~lo ~hi)
+    node_fixes;
+  let warm_stats =
+    match parent.Lp.Simplex.basis with
+    | None -> None
+    | Some basis ->
+        let cold_child = Lp.Simplex.solve node_lp in
+        let warm_child = Lp.Simplex.resolve ~basis node_lp in
+        Some
+          ( basis,
+            cold_child.Lp.Simplex.iterations,
+            warm_child.Lp.Simplex.iterations,
+            warm_child.Lp.Simplex.warm )
+  in
   let guard =
     Guard.make
       ~envelope:(Guard.envelope ~components:3 ~lat_limit:1.5 ())
@@ -452,7 +475,17 @@ let micro ?(json = false) () =
                (fun (v, lo, hi) -> Lp.Problem.set_bounds enc_lp v ~lo ~hi)
                node_fixes;
              Lp.Problem.pop_bounds enc_lp));
+      Test.make ~name:"node re-solve cold (depth 12)"
+        (Staged.stage (fun () -> Lp.Simplex.solve node_lp));
     ]
+    @
+    match warm_stats with
+    | None -> []
+    | Some (basis, _, _, _) ->
+        [
+          Test.make ~name:"node re-solve warm (depth 12)"
+            (Staged.stage (fun () -> Lp.Simplex.resolve ~basis node_lp));
+        ]
   in
   let benchmark test =
     let instance = Toolkit.Instance.monotonic_clock in
@@ -487,6 +520,14 @@ let micro ?(json = false) () =
          "\nnode-eval: journal-based setup is %.1fx faster than per-node copy\n"
          (copy_ns /. journal_ns)
    | _ -> ());
+  (match warm_stats with
+   | Some (_, cold_it, warm_it, warm_used) ->
+       Printf.printf
+         "node re-solve: %d cold vs %d warm pivots (warm path used: %b)\n"
+         cold_it warm_it warm_used
+   | None ->
+       print_endline
+         "node re-solve: parent kept an artificial basic, no warm snapshot");
   if json then begin
     let oc = open_out "BENCH_milp.json" in
     Fun.protect
@@ -505,9 +546,62 @@ let micro ?(json = false) () =
               (escape name) ns
               (if i = List.length measured - 1 then "" else ","))
           measured;
-        Printf.fprintf oc "  ]\n}\n");
+        Printf.fprintf oc "  ],\n";
+        (match warm_stats with
+         | Some (_, cold_it, warm_it, warm_used) ->
+             Printf.fprintf oc
+               "  \"warm_start\": {\"cold_iterations\": %d, \
+                \"warm_iterations\": %d, \"warm_used\": %b}\n"
+               cold_it warm_it warm_used
+         | None -> Printf.fprintf oc "  \"warm_start\": null\n");
+        Printf.fprintf oc "}\n");
     Printf.printf "wrote BENCH_milp.json (%d entries)\n" (List.length measured)
   end
+
+(* {1 Warm-start report (CI runs this report-only)} *)
+
+let warm_report () =
+  heading "Warm-start dual simplex: full B&B warm vs cold on the smoke model";
+  let rng = Linalg.Rng.create 21 in
+  let net =
+    Nn.Network.create ~rng [ 6; 10; 10; Nn.Gmm.output_dim ~components:2 ]
+  in
+  let box = Array.make 6 (Interval.make (-0.25) 0.25) in
+  let enc = Encoding.Encoder.encode net box in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  Printf.printf "smoke model: %s, %d binaries\n\n" (Nn.Network.describe net)
+    (List.length enc.Encoding.Encoder.binaries);
+  Printf.printf "%-10s %-8s %-10s %-10s %-8s %-8s\n" "query" "nodes"
+    "cold piv" "warm piv" "cold s" "warm s";
+  let solve ~warm k =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Milp.Solver.solve ~warm
+        ~branch_rule:(Milp.Solver.Priority priority)
+        ~objective:(Encoding.Encoder.output_objective enc k)
+        enc.Encoding.Encoder.model
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold_total = ref 0 and warm_total = ref 0 in
+  let cold_time = ref 0.0 and warm_time = ref 0.0 in
+  List.iter
+    (fun k ->
+      let w, wt = solve ~warm:true k in
+      let c, ct = solve ~warm:false k in
+      cold_total := !cold_total + c.Milp.Solver.lp_iterations;
+      warm_total := !warm_total + w.Milp.Solver.lp_iterations;
+      cold_time := !cold_time +. ct;
+      warm_time := !warm_time +. wt;
+      Printf.printf "mu_lat[%d]  %-8d %-10d %-10d %-8.3f %-8.3f\n" k
+        c.Milp.Solver.nodes c.Milp.Solver.lp_iterations
+        w.Milp.Solver.lp_iterations ct wt)
+    (List.init 2 (fun k -> Nn.Gmm.mu_lat_index ~components:2 k));
+  if !cold_total > 0 then
+    Printf.printf
+      "\nwarm/cold pivot ratio: %.2f (%d vs %d pivots, %.2fs vs %.2fs)\n"
+      (float_of_int !warm_total /. float_of_int !cold_total)
+      !warm_total !cold_total !warm_time !cold_time
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -526,6 +620,7 @@ let () =
    | "ablation" -> ablation ()
    | "fault" -> fault_bench ()
    | "micro" -> micro ~json ()
+   | "warm" -> warm_report ()
    | "all" ->
        table1 ();
        table2 ();
@@ -533,11 +628,12 @@ let () =
        mcdc ();
        ablation ();
        fault_bench ();
-       micro ~json ()
+       micro ~json ();
+       warm_report ()
    | other ->
        Printf.eprintf
          "unknown mode %s (expected \
-          table1|table2|fig1|mcdc|ablation|fault|micro|all)\n"
+          table1|table2|fig1|mcdc|ablation|fault|micro|warm|all)\n"
          other;
        exit 2);
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

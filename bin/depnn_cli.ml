@@ -151,6 +151,11 @@ let verify net_path threshold time_limit slack cores =
    | None, _ -> print_endline "n.a. (unable to find maximum)");
   Printf.printf "%d unstable neurons, %d nodes, %.1fs\n"
     r.Verify.Driver.unstable_neurons r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+  let ob = r.Verify.Driver.obbt in
+  if ob.Encoding.Encoder.probes > 0 then
+    Printf.printf "obbt: %d probes (%d refined, %d failed, %d skipped by budget)\n"
+      ob.Encoding.Encoder.probes ob.Encoding.Encoder.refined
+      ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget;
   let proof =
     Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ~components
       ~threshold net box

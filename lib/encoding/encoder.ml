@@ -2,6 +2,15 @@ type bound_mode = Interval_bounds | Coarse of float
 
 type stats = { stable_active : int; stable_inactive : int; unstable : int }
 
+type obbt_stats = {
+  probes : int;
+  refined : int;
+  failed : int;
+  skipped_budget : int;
+}
+
+let no_obbt = { probes = 0; refined = 0; failed = 0; skipped_budget = 0 }
+
 type t = {
   model : Milp.Model.t;
   input_vars : Milp.Model.var array;
@@ -9,6 +18,7 @@ type t = {
   binaries : (Milp.Model.var * int * int) list;
   bounds : Bounds.t;
   stats : stats;
+  obbt : obbt_stats;
 }
 
 (* How a neuron's post-activation enters the next layer: either a model
@@ -133,6 +143,7 @@ let build net box (bounds : Bounds.t) =
         stable_inactive = !stable_inactive;
         unstable = !unstable;
       };
+    obbt = no_obbt;
   }
 
 (* LP-based bound tightening (OBBT): for every unstable neuron,
@@ -169,35 +180,50 @@ let refine_bounds_lp ?(budget = infinity) ?(cores = 1) t net box =
           | None -> ()
       done
   done;
+  (* A probe that runs out of wall-clock budget is *skipped*, which is a
+     different outcome from an LP that ran and failed: truncated OBBT is
+     an operator tuning signal (raise the budget), failed OBBT is a
+     solver health signal. Both leave the interval bound in place. *)
   let probe problem (li, r, z) =
-    if Unix.gettimeofday () -. started >= budget then None
+    if Unix.gettimeofday () -. started >= budget then `Skipped_budget
     else begin
       Lp.Problem.set_objective problem [ (z, 1.0) ];
       let up = Lp.Simplex.solve problem in
       let down = Lp.Simplex.solve_min problem in
       match (up.Lp.Simplex.status, down.Lp.Simplex.status) with
       | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
-          Some (li, r, down.Lp.Simplex.objective, up.Lp.Simplex.objective)
+          `Refined (li, r, down.Lp.Simplex.objective, up.Lp.Simplex.objective)
       | (Lp.Simplex.Optimal | Lp.Simplex.Infeasible
          | Lp.Simplex.Iteration_limit), _ ->
-          None
+          `Failed
     end
   in
-  let refined =
+  let outcomes =
     Milp.Parallel.map ~cores
       ~init:(fun () -> Lp.Problem.copy lp)
       probe
       (Array.of_list !targets)
   in
+  let refined_n = ref 0 and failed_n = ref 0 and skipped_n = ref 0 in
   Array.iter
     (function
-      | Some (li, r, down_obj, up_obj) ->
+      | `Refined (li, r, down_obj, up_obj) ->
+          incr refined_n;
           let iv = pre.(li).(r) in
           let lo = Float.max iv.Interval.lo (down_obj -. 1e-6) in
           let hi = Float.min iv.Interval.hi (up_obj +. 1e-6) in
           if lo <= hi then pre.(li).(r) <- Interval.make lo hi
-      | None -> ())
-    refined;
+      | `Failed -> incr failed_n
+      | `Skipped_budget -> incr skipped_n)
+    outcomes;
+  let stats =
+    {
+      probes = Array.length outcomes;
+      refined = !refined_n;
+      failed = !failed_n;
+      skipped_budget = !skipped_n;
+    }
+  in
   (* Re-propagate forward, intersecting with the refined pre-bounds, so
      downstream layers benefit from upstream tightening. *)
   let post = Array.make nlayers [||] in
@@ -218,7 +244,7 @@ let refine_bounds_lp ?(budget = infinity) ?(cores = 1) t net box =
     post.(li) <- Array.map (Nn.Activation.interval layer.Nn.Layer.activation) z;
     current := post.(li)
   done;
-  { Bounds.pre; post }
+  ({ Bounds.pre; post }, stats)
 
 let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
     ?(tighten_budget = infinity) ?(cores = 1) net box =
@@ -239,21 +265,34 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
         Bounds.coarse net ~radius
   in
   let started = Unix.gettimeofday () in
+  let acc = ref no_obbt in
+  (* Exhausted budget still runs the round: every remaining probe then
+     reports [skipped_budget], so the caller can tell truncated OBBT
+     apart from OBBT that ran and failed. *)
   let rec tighten rounds t =
     if rounds <= 0 then t
     else begin
       let remaining = tighten_budget -. (Unix.gettimeofday () -. started) in
-      if remaining <= 0.0 then t
-      else begin
-        let refined = refine_bounds_lp ~budget:remaining ~cores t net box in
-        tighten (rounds - 1) (build net box refined)
-      end
+      let refined, stats =
+        refine_bounds_lp ~budget:(Float.max 0.0 remaining) ~cores t net box
+      in
+      acc :=
+        {
+          probes = !acc.probes + stats.probes;
+          refined = !acc.refined + stats.refined;
+          failed = !acc.failed + stats.failed;
+          skipped_budget = !acc.skipped_budget + stats.skipped_budget;
+        };
+      tighten (rounds - 1) (build net box refined)
     end
   in
-  tighten tighten_rounds (build net box bounds)
+  let t = tighten tighten_rounds (build net box bounds) in
+  { t with obbt = !acc }
 
-let set_output_objective t k =
-  Milp.Model.set_objective t.model [ (t.output_vars.(k), 1.0) ]
+(* Objective terms maximising output coordinate [k]; pure data, meant to
+   be passed per solve call ([Milp.Solver.solve ~objective]) so the
+   shared encoding is never mutated and queries can fan out. *)
+let output_objective t k = [ (t.output_vars.(k), 1.0) ]
 
 let layer_order_priority t =
   let table = Hashtbl.create 64 in

@@ -25,6 +25,17 @@ type stats = {
   unstable : int;  (** = number of binaries *)
 }
 
+type obbt_stats = {
+  probes : int;          (** unstable neurons considered across all rounds *)
+  refined : int;         (** probes whose both LPs solved to optimality *)
+  failed : int;          (** probes whose LP failed (infeasible/limit) *)
+  skipped_budget : int;  (** probes skipped because the budget ran out *)
+}
+(** OBBT accounting. [skipped_budget] distinguishes truncated
+    tightening (raise [tighten_budget]) from tightening that ran and
+    failed (a solver health signal) — the two were previously
+    indistinguishable. [probes = refined + failed + skipped_budget]. *)
+
 type t = {
   model : Milp.Model.t;
   input_vars : Milp.Model.var array;
@@ -33,6 +44,7 @@ type t = {
       (** (binary var, layer, neuron index) *)
   bounds : Bounds.t;
   stats : stats;
+  obbt : obbt_stats;  (** zeroes when [tighten_rounds = 0] *)
 }
 
 val encode :
@@ -59,9 +71,11 @@ val encode :
     fans the independent OBBT probes across that many domains, each
     probing a private LP copy. *)
 
-val set_output_objective : t -> int -> unit
-(** [set_output_objective enc k] sets the objective to maximise output
-    coordinate [k]. *)
+val output_objective : t -> int -> (Milp.Model.var * float) list
+(** [output_objective enc k] is the objective maximising output
+    coordinate [k], as terms for [Milp.Solver.solve ~objective] (or
+    {!Milp.Parallel.solve}). Pure data: the encoding is never mutated,
+    so one encoding serves many queries — even concurrently. *)
 
 val layer_order_priority : t -> Milp.Model.var -> int
 (** Branching priority that explores earlier layers first (the encoding

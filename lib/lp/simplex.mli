@@ -1,13 +1,14 @@
-(** Bounded-variable dual simplex.
+(** Two-phase primal simplex with a dual-simplex warm restart.
 
     Solves [maximize c·x subject to rows, l <= x <= u] for problems
-    built with {!Problem}. The initial slack basis is dual feasible by
-    construction (nonbasic variables are placed on the bound matching
-    the sign of their reduced cost), so a single dual-simplex phase
-    drives the basis to primal feasibility and optimality at once —
-    there is no separate phase 1. This also makes the solver a natural
-    fit for branch & bound, where only variable bounds change between
-    solves.
+    built with {!Problem}. A cold {!solve} starts from the artificial
+    identity basis (phase 1 drives the artificials out, phase 2
+    optimises the real objective). {!resolve} instead rebuilds a basis
+    captured from a previous optimal solve — after a single bound
+    change the old optimal basis stays dual feasible, so a short
+    dual-simplex run restores primal feasibility and a primal cleanup
+    finishes the job. This is the natural fit for branch & bound, where
+    a child's LP differs from its parent's by exactly one bound.
 
     Primal unboundedness cannot occur because every variable carries
     finite bounds (enforced by {!Problem.add_var}). *)
@@ -26,17 +27,49 @@ type status =
   | Infeasible
   | Iteration_limit  (** gave up; treat as unknown *)
 
+type var_status = Basic | At_lower | At_upper
+
+type basis = {
+  bm : int;            (** rows of the problem the snapshot came from *)
+  bnstruct : int;      (** structural variables of that problem *)
+  bbasic : int array;  (** basic column per row (structural or slack) *)
+  bupper : bool array; (** per real column: parked at its upper bound? *)
+}
+(** Compact snapshot of an optimal basis. Pure data — the arrays are
+    immutable by contract, so snapshots can be shared freely across
+    domains (the parallel MILP solver migrates them with stolen nodes).
+    A snapshot is only meaningful for the problem shape it was taken
+    from (same rows in the same order, same variable count); {!resolve}
+    validates this and falls back to a cold solve on any mismatch. *)
+
 type solution = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
   x : float array;    (** structural variable values (primal point) *)
   iterations : int;
+  basis : basis option;
+      (** optimal basis for warm restarts; [None] unless
+          [status = Optimal] and the basis is free of artificials *)
+  warm : bool;
+      (** [true] iff this result came from the warm dual-simplex path
+          (no fallback to a cold solve was needed) *)
 }
 
 val solve : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
-(** Maximise the problem's objective. [eps] is the feasibility/optimality
-    tolerance (default [1e-7]). [max_iterations] defaults to
-    [200 * (rows + vars)]. *)
+(** Maximise the problem's objective from a cold start. [eps] is the
+    feasibility/optimality tolerance (default [1e-7]).
+    [max_iterations] defaults to [500 * (rows + cols)]. *)
+
+val resolve :
+  ?max_iterations:int -> ?eps:float -> basis:basis -> Problem.t -> solution
+(** Maximise like {!solve}, but warm-start from [basis] (typically the
+    parent node's optimal basis under slightly different bounds). The
+    restored basis is driven primal-feasible by the dual simplex, then
+    polished by the primal simplex. Correctness never depends on the
+    warm path: a stale/corrupted snapshot, a singular restored basis,
+    a dual-simplex infeasibility certificate, an iteration limit, or
+    numerical trouble all transparently fall back to a cold {!solve}
+    (the returned [warm] flag tells which path produced the answer). *)
 
 val solve_min : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
 (** Minimise instead; [objective] is reported in the minimisation sense. *)

@@ -77,11 +77,12 @@ let map ?(cores = 1) ~init f items =
 
 let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
     ?(eps = 1e-6) ?(int_eps = 1e-6) ?(branch_rule = Search.Most_fractional)
-    ?depth_first ?(cutoff = neg_infinity) ?primal_heuristic model =
+    ?depth_first ?(cutoff = neg_infinity) ?primal_heuristic ?objective
+    ?(warm = true) model =
   let cores = max 1 cores in
   if cores = 1 then
     Solver.solve ~time_limit ~node_limit ~eps ~int_eps ~branch_rule
-      ?depth_first ~cutoff ?primal_heuristic model
+      ?depth_first ~cutoff ?primal_heuristic ?objective ~warm model
   else begin
     (* [depth_first] is a sequential ablation hook; the shared pool is
        always best-first. *)
@@ -117,7 +118,14 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
        return the children to enqueue. *)
     let evaluate problem node =
       Search.with_node_bounds problem node (fun () ->
-          let relax = Lp.Simplex.solve problem in
+          (* Basis snapshots are immutable values, so a node stolen from
+             another domain warm-starts on this domain's private LP copy
+             without any sharing hazard. *)
+          let relax =
+            match (if warm then node.Search.parent_basis else None) with
+            | Some b -> Lp.Simplex.resolve ~basis:b problem
+            | None -> Lp.Simplex.solve problem
+          in
           ignore (Atomic.fetch_and_add lp_iters relax.Lp.Simplex.iterations);
           match relax.Lp.Simplex.status with
           | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> []
@@ -141,11 +149,13 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
                     let xv = relax.Lp.Simplex.x.(v) in
                     let lo, hi = Lp.Problem.bounds problem v in
                     Search.branch node ~v ~xv ~lo ~hi ~bound
+                      ~basis:(if warm then relax.Lp.Simplex.basis else None)
               end
               else [])
     in
     let worker () =
       let problem = Lp.Problem.copy base in
+      Option.iter (Lp.Problem.set_objective problem) objective;
       (* Pop the best open node, sleeping while the pool is empty but
          siblings are still expanding (their children may land here).
          Called and returning with [mutex] held. *)
@@ -260,12 +270,15 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
   end
 
 let solve_min ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
-    ?depth_first ?cutoff ?primal_heuristic model =
+    ?depth_first ?cutoff ?primal_heuristic ?objective ?warm model =
   let minned = Model.copy model in
   let problem = Model.lp minned in
   let n = Lp.Problem.num_vars problem in
   let original = Lp.Problem.objective problem in
   Lp.Problem.set_objective problem (List.init n (fun v -> (v, -.original.(v))));
+  let neg_objective =
+    Option.map (List.map (fun (v, c) -> (v, -.c))) objective
+  in
   let neg_heuristic =
     Option.map
       (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
@@ -275,7 +288,7 @@ let solve_min ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
     solve ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
       ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
-      ?primal_heuristic:neg_heuristic minned
+      ?primal_heuristic:neg_heuristic ?objective:neg_objective ?warm minned
   in
   {
     r with

@@ -52,12 +52,18 @@ val solve :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?objective:(Model.var * float) list ->
+  ?warm:bool ->
   Model.t ->
   Solver.result
 (** Maximise the model objective with [cores] worker domains (default 1
     = sequential). Parameters match {!Solver.solve}; [depth_first] only
     applies to the sequential delegation — the shared pool is always
-    best-first. *)
+    best-first. [objective] lands on every domain's private LP copy, so
+    concurrent queries over one shared encoding are safe; [warm]
+    (default [true]) warm-starts each node from its parent's basis —
+    snapshots are immutable, so stolen nodes warm-start safely on any
+    domain. *)
 
 val solve_min :
   ?cores:int ->
@@ -69,7 +75,10 @@ val solve_min :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?objective:(Model.var * float) list ->
+  ?warm:bool ->
   Model.t ->
   Solver.result
 (** Minimise, like {!Solver.solve_min} (operates on a private copy of
-    the model; the caller's objective is never touched). *)
+    the model; the caller's objective is never touched). An [objective]
+    override is given in the minimisation sense. *)

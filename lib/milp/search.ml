@@ -11,9 +11,13 @@ type node = {
   fixes : (Model.var * float * float) list;  (* most recent first *)
   parent_bound : float;
   depth : int;
+  parent_basis : Lp.Simplex.basis option;
+      (* parent's optimal LP basis, for dual-simplex warm starts; a pure
+         immutable value, safe to migrate across domains *)
 }
 
-let root = { fixes = []; parent_bound = infinity; depth = 0 }
+let root =
+  { fixes = []; parent_bound = infinity; depth = 0; parent_basis = None }
 
 (* Max-heap on parent bound. *)
 module Heap = struct
@@ -144,19 +148,21 @@ let with_node_bounds problem node f =
    relaxation value is [xv]; [lo, hi] are [v]'s bounds *at the node*.
    Returned (and meant to be pushed) up-child first, down-child last, so
    a LIFO consumer explores the "inactive neuron" side first. *)
-let branch node ~v ~xv ~lo ~hi ~bound =
+let branch node ~v ~xv ~lo ~hi ~bound ~basis =
   let floor_v = Float.floor xv and ceil_v = Float.ceil xv in
   let children = ref [] in
   if floor_v >= lo then
     children :=
       { fixes = (v, lo, floor_v) :: node.fixes;
         parent_bound = bound;
-        depth = node.depth + 1 }
+        depth = node.depth + 1;
+        parent_basis = basis }
       :: !children;
   if ceil_v <= hi then
     children :=
       { fixes = (v, ceil_v, hi) :: node.fixes;
         parent_bound = bound;
-        depth = node.depth + 1 }
+        depth = node.depth + 1;
+        parent_basis = basis }
       :: !children;
   !children

@@ -12,6 +12,10 @@ type node = {
   parent_bound : float;
       (** relaxation bound inherited from the parent (best-first key) *)
   depth : int;
+  parent_basis : Lp.Simplex.basis option;
+      (** the parent's optimal LP basis, used to warm-start the node's
+          relaxation with {!Lp.Simplex.resolve}; an immutable value, so
+          work-stealing can migrate nodes across domains freely *)
 }
 
 val root : node
@@ -53,7 +57,10 @@ val branch :
   lo:float ->
   hi:float ->
   bound:float ->
+  basis:Lp.Simplex.basis option ->
   node list
 (** Children after branching on [v] at fractional value [xv]; [lo]/[hi]
-    are [v]'s bounds at the node, [bound] the node's relaxation value.
+    are [v]'s bounds at the node, [bound] the node's relaxation value,
+    [basis] the node's optimal LP basis (inherited by both children for
+    warm starts; pass [None] to force cold child solves).
     Listed up-child first, down-child last (LIFO pops the down side). *)

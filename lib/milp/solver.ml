@@ -17,14 +17,17 @@ type branch_rule = Search.branch_rule =
 
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
-    ?(cutoff = neg_infinity) ?primal_heuristic model =
+    ?(cutoff = neg_infinity) ?primal_heuristic ?objective ?(warm = true)
+    model =
   let base = Model.lp model in
   let ints = Model.integer_vars model in
   let start = Unix.gettimeofday () in
   (* One copy up front keeps the caller's problem untouched; every node
      after that is evaluated through the bound journal (O(depth) writes,
-     no per-node copy). *)
+     no per-node copy). The optional objective override also lands on
+     the copy, so one encoding can serve many queries concurrently. *)
   let problem = Lp.Problem.copy base in
+  Option.iter (Lp.Problem.set_objective problem) objective;
   let heap = Search.Heap.create () in
   (* The LIFO stack stores (node, running max of open parent bounds from
      this entry down), so the depth-first path reports the same global
@@ -95,7 +98,11 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
           else begin
             incr nodes;
             Search.with_node_bounds problem node (fun () ->
-                let relax = Lp.Simplex.solve problem in
+                let relax =
+                  match (if warm then node.Search.parent_basis else None) with
+                  | Some b -> Lp.Simplex.resolve ~basis:b problem
+                  | None -> Lp.Simplex.solve problem
+                in
                 lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
                 match relax.Lp.Simplex.status with
                 | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
@@ -124,8 +131,11 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                       | Some v ->
                           let xv = relax.Lp.Simplex.x.(v) in
                           let lo, hi = Lp.Problem.bounds problem v in
+                          let basis =
+                            if warm then relax.Lp.Simplex.basis else None
+                          in
                           List.iter push
-                            (Search.branch node ~v ~xv ~lo ~hi ~bound)
+                            (Search.branch node ~v ~xv ~lo ~hi ~bound ~basis)
                     end);
             loop ()
           end
@@ -133,17 +143,21 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
   loop ()
 
 let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
-    ?cutoff ?primal_heuristic model =
+    ?cutoff ?primal_heuristic ?objective ?warm model =
   (* Negate the objective on a private copy of the model, maximise, then
      report back in min sense. The caller's model is never touched, so
      concurrent solves over the same model are safe and an exception
-     cannot leave the objective negated. *)
+     cannot leave the objective negated. An explicit objective override
+     is negated the same way before it lands on [solve]'s private copy. *)
   let minned = Model.copy model in
   let problem = Model.lp minned in
   let n = Lp.Problem.num_vars problem in
   let original = Lp.Problem.objective problem in
   let negated = List.init n (fun v -> (v, -.original.(v))) in
   Lp.Problem.set_objective problem negated;
+  let neg_objective =
+    Option.map (List.map (fun (v, c) -> (v, -.c))) objective
+  in
   let neg_heuristic =
     Option.map
       (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
@@ -152,7 +166,7 @@ let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
   let r =
     solve ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
-      ?primal_heuristic:neg_heuristic minned
+      ?primal_heuristic:neg_heuristic ?objective:neg_objective ?warm minned
   in
   {
     r with

@@ -47,12 +47,21 @@ val solve :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?objective:(Model.var * float) list ->
+  ?warm:bool ->
   Model.t ->
   result
 (** Maximise the model objective. [eps] (default 1e-6) is the absolute
     optimality gap below which a node is pruned against the incumbent.
     [time_limit] is wall-clock seconds. [depth_first] switches the node
     order from best-first to LIFO (ablation hook).
+
+    [objective] replaces the model's objective for this solve only — it
+    is applied to the solver's private problem copy, so the caller's
+    model is never mutated and many queries can share one encoding
+    (even concurrently). [warm] (default [true]) re-solves each child
+    node from its parent's optimal basis via {!Lp.Simplex.resolve};
+    pass [false] to force cold per-node solves (ablation/benchmarks).
 
     [cutoff] turns the search into a decision query: nodes whose bound
     is at most [cutoff] are pruned as if an incumbent of that value were
@@ -76,7 +85,10 @@ val solve_min :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?objective:(Model.var * float) list ->
+  ?warm:bool ->
   Model.t ->
   result
 (** Minimise; [best_bound] is then a valid lower bound, and incumbent
-    objectives are reported in the minimisation sense. *)
+    objectives are reported in the minimisation sense. An [objective]
+    override is given in the minimisation sense too. *)

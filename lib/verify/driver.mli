@@ -27,6 +27,8 @@ type max_result = {
   nodes : int;
   lp_iterations : int;
   unstable_neurons : int;  (** binaries in the encoding *)
+  obbt : Encoding.Encoder.obbt_stats;
+      (** OBBT accounting: refined / failed / skipped-by-budget probes *)
 }
 
 val max_lateral_velocity :
@@ -35,16 +37,23 @@ val max_lateral_velocity :
   ?tighten_rounds:int ->
   ?depth_first:bool ->
   ?cores:int ->
+  ?warm:bool ->
   components:int ->
   Nn.Network.t ->
   Interval.Box.box ->
   max_result
-(** [time_limit] (default 60 s) is shared across the per-component
-    solves. [tighten_rounds] (default 1) rounds of OBBT are applied
+(** [time_limit] (default 60 s) bounds the {e whole} call: OBBT
+    tightening spends from it (at most half) and each per-component
+    solve gets an equal share of the time remaining when it starts, so
+    leftover time from fast queries rolls over to later ones and the
+    total elapsed respects the caller's limit (plus at most one node's
+    slack). [tighten_rounds] (default 1) rounds of OBBT are applied
     before searching (see {!Encoding.Encoder.encode}). [cores]
     (default 1) runs both the OBBT probes and each branch & bound
     search on that many worker domains ({!Milp.Parallel}); results
-    agree with [cores = 1] up to solver epsilon. *)
+    agree with [cores = 1] up to solver epsilon. [warm] (default
+    [true]) warm-starts child nodes from parent bases; pass [false]
+    for cold-solve ablations. *)
 
 val maximize_output :
   ?time_limit:float ->
@@ -52,6 +61,7 @@ val maximize_output :
   ?tighten_rounds:int ->
   ?depth_first:bool ->
   ?cores:int ->
+  ?warm:bool ->
   output:int ->
   Nn.Network.t ->
   Interval.Box.box ->
@@ -74,11 +84,14 @@ val prove_lateral_velocity_le :
   ?bound_mode:Encoding.Encoder.bound_mode ->
   ?tighten_rounds:int ->
   ?cores:int ->
+  ?warm:bool ->
   components:int ->
   threshold:float ->
   Nn.Network.t ->
   Interval.Box.box ->
   proof_result
+(** Decision query under the same whole-call budget contract as
+    {!max_lateral_velocity}. *)
 
 val sampled_max_lateral_velocity :
   rng:Linalg.Rng.t ->

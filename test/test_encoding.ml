@@ -134,8 +134,11 @@ let prop_encoder_faithful =
         (List.init 15 Fun.id))
 
 let milp_max enc k =
-  Encoding.Encoder.set_output_objective enc k;
-  let r = Milp.Solver.solve enc.Encoding.Encoder.model in
+  let r =
+    Milp.Solver.solve
+      ~objective:(Encoding.Encoder.output_objective enc k)
+      enc.Encoding.Encoder.model
+  in
   match (r.Milp.Solver.outcome, r.Milp.Solver.incumbent) with
   | Milp.Solver.Optimal, Some (_, v) -> v
   | _ -> Alcotest.fail "MILP did not solve to optimality"
@@ -195,8 +198,11 @@ let test_input_point_extraction () =
   let net = small_net 11 [ 3; 4; 2 ] in
   let b0 = box 3 0.4 in
   let enc = Encoding.Encoder.encode net b0 in
-  Encoding.Encoder.set_output_objective enc 0;
-  let r = Milp.Solver.solve enc.Encoding.Encoder.model in
+  let r =
+    Milp.Solver.solve
+      ~objective:(Encoding.Encoder.output_objective enc 0)
+      enc.Encoding.Encoder.model
+  in
   match r.Milp.Solver.incumbent with
   | Some (point, v) ->
       let x = Encoding.Encoder.input_point enc point in
@@ -266,6 +272,29 @@ let test_obbt_bounds_sound () =
       (Encoding.Encoder.check_faithful enc net x)
   done
 
+let test_obbt_zero_budget_counts_skips () =
+  (* An exhausted budget must be visible in the stats — every probe
+     skipped, none reported as an LP failure — and must leave the
+     interval bounds untouched relative to a plain encoding. *)
+  let net = small_net 17 [ 4; 8; 8; 2 ] in
+  let b0 = box 4 0.5 in
+  let plain = Encoding.Encoder.encode net b0 in
+  let starved =
+    Encoding.Encoder.encode ~tighten_rounds:1 ~tighten_budget:0.0 net b0
+  in
+  let ob = starved.Encoding.Encoder.obbt in
+  Alcotest.(check bool) "probes counted" true (ob.Encoding.Encoder.probes > 0);
+  Alcotest.(check int) "all skipped, not failed" 0 ob.Encoding.Encoder.failed;
+  Alcotest.(check int) "skips = probes" ob.Encoding.Encoder.probes
+    ob.Encoding.Encoder.skipped_budget;
+  Alcotest.(check int) "nothing refined" 0 ob.Encoding.Encoder.refined;
+  Alcotest.(check int) "binaries unchanged"
+    (List.length plain.Encoding.Encoder.binaries)
+    (List.length starved.Encoding.Encoder.binaries);
+  (* A plain encoding reports the zero stats. *)
+  let z = plain.Encoding.Encoder.obbt in
+  Alcotest.(check int) "no probes without rounds" 0 z.Encoding.Encoder.probes
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -292,6 +321,7 @@ let () =
           slow "coarse same optimum" test_coarse_mode_same_optimum;
           slow "OBBT preserves optimum" test_obbt_preserves_optimum;
           slow "OBBT bounds sound" test_obbt_bounds_sound;
+          quick "OBBT zero budget skips" test_obbt_zero_budget_counts_skips;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -111,6 +111,9 @@ let max_result ~upper_bound : Verify.Driver.max_result =
     nodes = 0;
     lp_iterations = 0;
     unstable_neurons = 0;
+    obbt =
+      { Encoding.Encoder.probes = 0; refined = 0; failed = 0;
+        skipped_budget = 0 };
   }
 
 let test_envelope_of_verification () =

@@ -285,6 +285,140 @@ let prop_random_lp_optimal_dominates =
                  (List.init 200 Fun.id)
              end)
 
+(* {2 Warm restarts} *)
+
+let test_resolve_after_bound_change () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6; optimum (4, 0) = 12.
+     Tighten x <= 1.5 (a branch-and-bound child step): the warm re-solve
+     must agree with a cold solve on the child problem (x=1.5, y=1.5
+     since x + 3y <= 6 now binds, obj 7.5) and must take the warm
+     path. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:3.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:2.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 4.0;
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 3.0) ] Lp.Problem.Le 6.0;
+  let parent = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal parent;
+  let basis =
+    match parent.Lp.Simplex.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "optimal solve produced no basis snapshot"
+  in
+  Lp.Problem.set_bounds p x ~lo:0.0 ~hi:1.5;
+  let warm = Lp.Simplex.resolve ~basis p in
+  let cold = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal warm;
+  Alcotest.(check bool) "took the warm path" true warm.Lp.Simplex.warm;
+  Alcotest.(check (float 1e-6)) "same objective as cold"
+    cold.Lp.Simplex.objective warm.Lp.Simplex.objective;
+  Alcotest.(check (float 1e-6)) "child optimum" 7.5 warm.Lp.Simplex.objective;
+  Alcotest.(check bool) "warm point feasible" true
+    (Lp.Simplex.primal_feasible ~eps:1e-6 p warm.Lp.Simplex.x)
+
+let test_resolve_detects_infeasible_child () =
+  (* Child bounds make the constraint unsatisfiable: warm or cold, the
+     answer must be Infeasible (the dual certificate is re-confirmed by
+     the cold fallback, never trusted alone). *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Ge 5.0;
+  let parent = Lp.Simplex.solve p in
+  check_status Lp.Simplex.Optimal parent;
+  let basis = Option.get parent.Lp.Simplex.basis in
+  Lp.Problem.set_bounds p x ~lo:0.0 ~hi:1.0;
+  Lp.Problem.set_bounds p y ~lo:0.0 ~hi:1.0;
+  check_status Lp.Simplex.Infeasible (Lp.Simplex.resolve ~basis p)
+
+let test_resolve_corrupted_basis_falls_back () =
+  (* A garbage snapshot must degrade to a cold solve, not an error. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:3.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:2.0 () in
+  (* z appears in no constraint: its column is all zeros, so claiming it
+     basic makes the basis singular. *)
+  let _z = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:0.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 4.0;
+  let cold = Lp.Simplex.solve p in
+  let corrupted =
+    [
+      (* wrong dimensions entirely *)
+      { Lp.Simplex.bm = 7; bnstruct = 3; bbasic = [| 0; 1; 2; 3; 4; 5; 6 |];
+        bupper = Array.make 10 false };
+      (* right shape, out-of-range basic column *)
+      { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 99 |];
+        bupper = Array.make 4 false };
+      (* right shape, singular basis (zero column claimed basic) *)
+      { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 2 |];
+        bupper = Array.make 4 false };
+    ]
+  in
+  List.iter
+    (fun basis ->
+      let r = Lp.Simplex.resolve ~basis p in
+      check_status Lp.Simplex.Optimal r;
+      Alcotest.(check bool) "fell back to cold" false r.Lp.Simplex.warm;
+      Alcotest.(check (float 1e-9)) "same answer as cold"
+        cold.Lp.Simplex.objective r.Lp.Simplex.objective)
+    corrupted
+
+let test_resolve_stale_basis_falls_back () =
+  (* A snapshot from a *different* problem of the same shape is still a
+     valid-looking basis; resolve may restore it, but the result must
+     match the cold answer regardless of which path ran. *)
+  let build c =
+    let p = Lp.Problem.create () in
+    let x = Lp.Problem.add_var p ~lo:0.0 ~hi:4.0 ~obj:1.0 () in
+    let y = Lp.Problem.add_var p ~lo:0.0 ~hi:4.0 ~obj:1.0 () in
+    Lp.Problem.add_constraint p [ (x, c); (y, 1.0) ] Lp.Problem.Le 4.0;
+    p
+  in
+  let other = Lp.Simplex.solve (build (-1.0)) in
+  let basis = Option.get other.Lp.Simplex.basis in
+  let p = build 2.0 in
+  let warm = Lp.Simplex.resolve ~basis p in
+  let cold = Lp.Simplex.solve p in
+  check_status cold.Lp.Simplex.status warm;
+  Alcotest.(check (float 1e-6)) "same objective"
+    cold.Lp.Simplex.objective warm.Lp.Simplex.objective
+
+(* Equivalence property: for a random LP, a warm-started child solve
+   (one random bound change on top of the parent's optimal basis) must
+   agree with a cold solve of the same child. This is the correctness
+   contract branch & bound relies on at every node. *)
+let prop_resolve_equals_cold_after_bound_change =
+  QCheck.Test.make ~name:"resolve = cold solve after one bound change"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* spec = gen_lp in
+         let* vidx = int_range 0 100 in
+         let* side = bool in
+         let* frac = float_range 0.05 0.95 in
+         return (spec, vidx, side, frac)))
+    (fun (spec, vidx, side, frac) ->
+      let p, nvars = build_random_lp spec in
+      let parent = Lp.Simplex.solve p in
+      match (parent.Lp.Simplex.status, parent.Lp.Simplex.basis) with
+      | Lp.Simplex.Optimal, Some basis ->
+          let v = vidx mod nvars in
+          let lo, hi = Lp.Problem.bounds p v in
+          (* Tighten one side of one variable, like a B&B child. *)
+          let cut = lo +. (frac *. (hi -. lo)) in
+          if side then Lp.Problem.set_bounds p v ~lo ~hi:cut
+          else Lp.Problem.set_bounds p v ~lo:cut ~hi;
+          let warm = Lp.Simplex.resolve ~basis p in
+          let cold = Lp.Simplex.solve p in
+          (match (warm.Lp.Simplex.status, cold.Lp.Simplex.status) with
+           | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+               Float.abs
+                 (warm.Lp.Simplex.objective -. cold.Lp.Simplex.objective)
+               < 1e-5
+               && Lp.Simplex.primal_feasible ~eps:1e-5 p warm.Lp.Simplex.x
+           | a, b -> a = b)
+      | _ -> true (* parent not optimal: nothing to warm-start *))
+
 let prop_min_is_neg_max =
   QCheck.Test.make ~name:"solve_min = -solve(max) on negated objective"
     ~count:80 (QCheck.make gen_lp) (fun spec ->
@@ -320,6 +454,14 @@ let () =
           quick "nan rhs" test_nan_rhs_fails_fast;
           quick "nan objective" test_nan_objective_fails_fast;
         ] );
+      ( "warm start",
+        [
+          quick "resolve after bound change" test_resolve_after_bound_change;
+          quick "resolve infeasible child" test_resolve_detects_infeasible_child;
+          quick "corrupted basis falls back"
+            test_resolve_corrupted_basis_falls_back;
+          quick "stale basis falls back" test_resolve_stale_basis_falls_back;
+        ] );
       ( "problem",
         [
           quick "validation" test_problem_validation;
@@ -329,5 +471,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_lp_optimal_dominates; prop_min_is_neg_max ] );
+          [
+            prop_random_lp_optimal_dominates;
+            prop_min_is_neg_max;
+            prop_resolve_equals_cold_after_bound_change;
+          ] );
     ]

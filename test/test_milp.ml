@@ -282,6 +282,59 @@ let test_parallel_map_order_and_state () =
     (Array.init 33 (fun i -> i * i))
     squares
 
+let test_warm_matches_cold () =
+  (* Warm-started B&B must agree with cold B&B on outcome, incumbent and
+     bound — and spend strictly fewer LP iterations (the whole point of
+     the warm start: children resume from the parent's basis). *)
+  let m = Milp.Model.create () in
+  let values = [| 4.0; 5.0; 3.0; 7.0; 2.0; 6.0; 9.0; 1.0 |]
+  and weights = [| 2.0; 3.0; 1.0; 4.0; 1.0; 3.0; 5.0; 0.5 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m
+    (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs))
+    9.0;
+  Milp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  let warm = Milp.Solver.solve ~warm:true m in
+  let cold = Milp.Solver.solve ~warm:false m in
+  check_outcome cold.Milp.Solver.outcome warm;
+  Alcotest.(check (float 1e-6)) "same optimum" (incumbent_value cold)
+    (incumbent_value warm);
+  Alcotest.(check (float 1e-6)) "same bound" cold.Milp.Solver.best_bound
+    warm.Milp.Solver.best_bound;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer lp iterations (warm %d < cold %d)"
+       warm.Milp.Solver.lp_iterations cold.Milp.Solver.lp_iterations)
+    true
+    (warm.Milp.Solver.lp_iterations < cold.Milp.Solver.lp_iterations)
+
+let test_objective_override () =
+  (* ~objective solves under a different objective without mutating the
+     model, so interleaved queries over one model stay independent. *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_integer m ~lo:0 ~hi:5 () in
+  let y = Milp.Model.add_integer m ~lo:0 ~hi:5 () in
+  Milp.Model.add_le m [ (x, 1.0); (y, 1.0) ] 7.0;
+  Milp.Model.set_objective m [ (x, 1.0) ];
+  let before = Lp.Problem.objective (Milp.Model.lp m) in
+  let rx = Milp.Solver.solve m in
+  let ry = Milp.Solver.solve ~objective:[ (y, 2.0) ] m in
+  let after = Lp.Problem.objective (Milp.Model.lp m) in
+  Alcotest.(check (float 1e-6)) "model objective: max x" 5.0
+    (incumbent_value rx);
+  Alcotest.(check (float 1e-6)) "override: max 2y" 10.0 (incumbent_value ry);
+  Alcotest.(check (array (float 0.0))) "model objective untouched" before
+    after;
+  (* And again under the original objective: the override left no
+     residue. *)
+  Alcotest.(check (float 1e-6)) "model objective again" 5.0
+    (incumbent_value (Milp.Solver.solve m));
+  (* Parallel path applies the override on every domain's private copy. *)
+  let rp = Milp.Parallel.solve ~cores:2 ~objective:[ (y, 2.0) ] m in
+  Alcotest.(check (float 1e-6)) "parallel override" 10.0 (incumbent_value rp);
+  let rm = Milp.Solver.solve_min ~objective:[ (y, 1.0); (x, 1.0) ] m in
+  Alcotest.(check (float 1e-6)) "min override" 0.0 (incumbent_value rm)
+
 (* Random knapsacks vs brute force. *)
 let gen_knapsack =
   QCheck.Gen.(
@@ -346,6 +399,29 @@ let prop_parallel_matches_sequential =
       in
       List.for_all agrees [ 1; 2; 4 ])
 
+let prop_warm_matches_cold =
+  QCheck.Test.make ~name:"warm B&B matches cold B&B" ~count:40
+    (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
+      let m = Milp.Model.create () in
+      let xs = List.map (fun _ -> Milp.Model.add_binary m ()) values in
+      Milp.Model.add_le m (List.map2 (fun x w -> (x, w)) xs weights) capacity;
+      let y = Milp.Model.add_continuous m ~lo:0.0 ~hi:1.0 () in
+      Milp.Model.add_le m [ (y, 1.0); (List.hd xs, 1.0) ] 1.4;
+      Milp.Model.set_objective m
+        ((y, 0.7) :: List.map2 (fun x v -> (x, v)) xs values);
+      let warm = Milp.Solver.solve ~warm:true m in
+      let cold = Milp.Solver.solve ~warm:false m in
+      outcome_name warm.Milp.Solver.outcome
+      = outcome_name cold.Milp.Solver.outcome
+      && (match (warm.Milp.Solver.incumbent, cold.Milp.Solver.incumbent) with
+         | Some (_, a), Some (_, b) -> Float.abs (a -. b) < 1e-6
+         | None, None -> true
+         | _ -> false)
+      && Float.abs
+           (warm.Milp.Solver.best_bound -. cold.Milp.Solver.best_bound)
+         < 1e-6
+      && warm.Milp.Solver.lp_iterations <= cold.Milp.Solver.lp_iterations)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "milp"
@@ -363,6 +439,8 @@ let () =
           quick "depth-first optimum" test_depth_first_same_optimum;
           quick "branch rules" test_branch_rules_same_optimum;
           quick "primal heuristic" test_primal_heuristic_adopted;
+          quick "warm matches cold" test_warm_matches_cold;
+          quick "objective override" test_objective_override;
         ] );
       ("model", [ quick "bookkeeping" test_model_bookkeeping ]);
       ( "parallel",
@@ -379,5 +457,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_knapsack_matches_brute_force; prop_parallel_matches_sequential ] );
+          [
+            prop_knapsack_matches_brute_force;
+            prop_parallel_matches_sequential;
+            prop_warm_matches_cold;
+          ] );
     ]

@@ -205,6 +205,112 @@ let test_proof_cheaper_than_max () =
   Alcotest.(check bool) "fewer or equal nodes" true
     (proof.Verify.Driver.proof_nodes <= r.Verify.Driver.nodes)
 
+(* The acceptance test for the dual-simplex warm start: on the smoke
+   verification model the warm-started B&B must report the same outcome,
+   best bound and incumbent objective as the cold solver, while spending
+   strictly fewer total LP iterations. Run at the solver level (one
+   encoding, per-query objectives) so iteration counts are exactly
+   comparable. *)
+let test_warm_start_fewer_iterations_same_answer () =
+  let net = mini_predictor 47 in
+  let b0 = box 6 0.4 in
+  let enc = Encoding.Encoder.encode net b0 in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  let solve ~warm k =
+    Milp.Solver.solve ~warm
+      ~branch_rule:(Milp.Solver.Priority priority)
+      ~objective:(Encoding.Encoder.output_objective enc k)
+      enc.Encoding.Encoder.model
+  in
+  let warm_total = ref 0 and cold_total = ref 0 in
+  List.iter
+    (fun k ->
+      let w = solve ~warm:true k and c = solve ~warm:false k in
+      Alcotest.(check bool)
+        (Printf.sprintf "output %d: same outcome" k)
+        true
+        (w.Milp.Solver.outcome = c.Milp.Solver.outcome);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "output %d: same best bound" k)
+        c.Milp.Solver.best_bound w.Milp.Solver.best_bound;
+      (match (w.Milp.Solver.incumbent, c.Milp.Solver.incumbent) with
+       | Some (_, a), Some (_, b) ->
+           Alcotest.(check (float 1e-6))
+             (Printf.sprintf "output %d: same incumbent objective" k)
+             b a
+       | None, None -> ()
+       | _ -> Alcotest.fail "incumbent presence differs warm vs cold");
+      warm_total := !warm_total + w.Milp.Solver.lp_iterations;
+      cold_total := !cold_total + c.Milp.Solver.lp_iterations)
+    (List.init 2 (fun k -> Nn.Gmm.mu_lat_index ~components:2 k));
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer lp iterations (warm %d < cold %d)"
+       !warm_total !cold_total)
+    true
+    (!warm_total < !cold_total)
+
+(* Regression for the 1.5x budget over-spend: OBBT used to get
+   0.5 * time_limit on top of the full time_limit granted to the output
+   queries. The call must finish within the limit plus one node's
+   slack. A wide network on a wide box guarantees both OBBT and the
+   searches would gladly eat far more than the budget. *)
+let test_finite_time_limit_respected_globally () =
+  let net = small_net 48 [ 8; 48; 48; Nn.Gmm.output_dim ~components:2 ] in
+  let b0 = box 8 1.0 in
+  let time_limit = 4.0 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Verify.Driver.max_lateral_velocity ~time_limit ~tighten_rounds:2
+      ~components:2 net b0
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* The old scheme would legally spend 1.5x + slack; require well under
+     that, with slack for one node and the final witness replay. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "elapsed %.2fs within budget %.2fs (+slack)" elapsed
+       time_limit)
+    true
+    (elapsed < (time_limit *. 1.25) +. 1.0);
+  Alcotest.(check bool) "flagged or solved" true
+    (r.Verify.Driver.timed_out || r.Verify.Driver.optimal)
+
+(* The immutable-encoding fix is what makes per-component fan-out safe:
+   solve every component query concurrently over ONE shared encoding
+   and check the fan-out agrees with the sequential answers. *)
+let test_component_queries_fan_out () =
+  let net = mini_predictor 49 in
+  let b0 = box 6 0.35 in
+  let enc = Encoding.Encoder.encode net b0 in
+  let outputs =
+    Array.init 2 (fun k -> Nn.Gmm.mu_lat_index ~components:2 k)
+  in
+  let solve_query k =
+    Milp.Solver.solve
+      ~objective:(Encoding.Encoder.output_objective enc k)
+      enc.Encoding.Encoder.model
+  in
+  let sequential = Array.map solve_query outputs in
+  (* Fan the queries out across domains, all reading the same enc. *)
+  let fanned =
+    Milp.Parallel.map ~cores:2 ~init:(fun () -> ()) (fun () k -> solve_query k)
+      outputs
+  in
+  Array.iteri
+    (fun i seq ->
+      let par = fanned.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d same outcome" i)
+        true
+        (seq.Milp.Solver.outcome = par.Milp.Solver.outcome);
+      match (seq.Milp.Solver.incumbent, par.Milp.Solver.incumbent) with
+      | Some (_, a), Some (_, b) ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "query %d same objective" i)
+            a b
+      | None, None -> ()
+      | _ -> Alcotest.fail "incumbent presence differs")
+    sequential
+
 let test_time_limit_respected () =
   let net = small_net 41 [ 8; 16; 16; 16; 4 ] in
   let b0 = box 8 1.0 in
@@ -275,6 +381,9 @@ let () =
           slow "prove violated" test_prove_violated_threshold_gives_witness;
           slow "proof cheaper" test_proof_cheaper_than_max;
           slow "time limit" test_time_limit_respected;
+          slow "warm start acceptance" test_warm_start_fewer_iterations_same_answer;
+          slow "finite budget global" test_finite_time_limit_respected_globally;
+          slow "component fan-out" test_component_queries_fan_out;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_zero_time_limit_honest ] );
