@@ -46,6 +46,44 @@ let cores_arg =
 
 let components = 3
 
+(* {1 bound modes} *)
+
+let bound_mode_name = function
+  | Encoding.Encoder.Interval_bounds -> "interval"
+  | Encoding.Encoder.Symbolic_bounds -> "symbolic"
+  | Encoding.Encoder.Coarse r -> Printf.sprintf "coarse:%g" r
+
+let bound_mode_conv =
+  let parse s =
+    let s = String.lowercase_ascii (String.trim s) in
+    match s with
+    | "interval" -> Ok Encoding.Encoder.Interval_bounds
+    | "symbolic" -> Ok Encoding.Encoder.Symbolic_bounds
+    | _ when String.length s > 7 && String.sub s 0 7 = "coarse:" -> (
+        let radius = String.sub s 7 (String.length s - 7) in
+        match float_of_string_opt radius with
+        | Some r when r > 0.0 && Float.is_finite r ->
+            Ok (Encoding.Encoder.Coarse r)
+        | Some _ | None ->
+            Error (`Msg "coarse radius must be a positive finite number"))
+    | _ -> Error (`Msg "expected 'interval', 'symbolic' or 'coarse:R'")
+  in
+  let print ppf m = Format.pp_print_string ppf (bound_mode_name m) in
+  Arg.conv (parse, print)
+
+let bound_mode_arg =
+  Arg.(
+    value
+    & opt bound_mode_conv Encoding.Encoder.Interval_bounds
+    & info [ "bound-mode" ] ~docv:"MODE"
+        ~doc:
+          "Bound analysis behind the MILP encoding: $(b,interval) (box \
+           propagation), $(b,symbolic) (DeepPoly-style symbolic \
+           propagation — tighter big-M constants, fewer binaries, and an \
+           incomplete pre-verifier that can discharge the property with \
+           zero search nodes), or $(b,coarse:R) (single global radius R, \
+           the loose-big-M ablation).")
+
 let record ~seed ~samples ~risky =
   let rng = Linalg.Rng.create seed in
   Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky risky)
@@ -133,13 +171,31 @@ let net_arg =
     & pos 0 (some file) None
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
-let verify net_path threshold time_limit slack cores =
+let verify net_path threshold time_limit slack cores bound_mode =
   let net = Nn.Io.load net_path in
-  Printf.printf "verifying %s (%d core%s)\n" (Nn.Network.describe net) cores
-    (if cores = 1 then "" else "s");
+  Printf.printf "verifying %s (%d core%s, %s bounds)\n"
+    (Nn.Network.describe net) cores
+    (if cores = 1 then "" else "s")
+    (bound_mode_name bound_mode);
   let box = Verify.Scenario.vehicle_on_left ~slack () in
+  (* Pre-OBBT stability under both analyses, so the binary-count
+     reduction bought by the symbolic mode is visible at a glance. *)
+  let ia, ii, iu =
+    Encoding.Bounds.stability_counts net (Encoding.Bounds.propagate net box)
+  in
+  let sa, si, su =
+    let s = Absint.Symbolic.propagate net box in
+    Encoding.Bounds.stability_counts net
+      { Encoding.Bounds.pre = s.Absint.Symbolic.pre;
+        post = s.Absint.Symbolic.post }
+  in
+  Printf.printf
+    "bounds (active/inactive/unstable): interval %d/%d/%d, symbolic \
+     %d/%d/%d\n"
+    ia ii iu sa si su;
   let r =
-    Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components net box
+    Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components
+      ~bound_mode net box
   in
   (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
    | Some v, true ->
@@ -149,8 +205,17 @@ let verify net_path threshold time_limit slack cores =
        Printf.printf "best found %.6f m/s, proven bound %.6f (time limit hit)\n"
          v r.Verify.Driver.upper_bound
    | None, _ -> print_endline "n.a. (unable to find maximum)");
-  Printf.printf "%d unstable neurons, %d nodes, %.1fs\n"
-    r.Verify.Driver.unstable_neurons r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+  let st = r.Verify.Driver.encoder_stats in
+  Printf.printf
+    "encoding (%s, post-obbt): %d stable active, %d stable inactive, %d \
+     unstable; %d nodes, %.1fs\n"
+    (bound_mode_name bound_mode) st.Encoding.Encoder.stable_active
+    st.Encoding.Encoder.stable_inactive st.Encoding.Encoder.unstable
+    r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+  Printf.printf "per-component solve time:%s\n"
+    (String.concat ""
+       (Array.to_list
+          (Array.map (Printf.sprintf " %.2fs") r.Verify.Driver.component_elapsed)));
   let ob = r.Verify.Driver.obbt in
   if ob.Encoding.Encoder.probes > 0 then
     Printf.printf "obbt: %d probes (%d refined, %d failed, %d skipped by budget)\n"
@@ -158,8 +223,12 @@ let verify net_path threshold time_limit slack cores =
       ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget;
   let proof =
     Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ~components
-      ~threshold net box
+      ~bound_mode ~threshold net box
   in
+  if proof.Verify.Driver.presolved > 0 then
+    Printf.printf
+      "pre-pass discharged %d/%d components without search (%d nodes total)\n"
+      proof.Verify.Driver.presolved components proof.Verify.Driver.proof_nodes;
   (match proof.Verify.Driver.proof with
    | Verify.Driver.Proved ->
        Printf.printf "PROVED: lateral velocity <= %.2f m/s on the scenario\n"
@@ -191,7 +260,8 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
-    Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg)
+    Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg
+          $ bound_mode_arg)
 
 (* {1 trace} *)
 

@@ -1,0 +1,188 @@
+type phase = Free | Fixed_active | Fixed_inactive
+
+type relaxation = { al : float; bl : float; au : float; bu : float }
+
+type t = {
+  pre : Interval.t array array;
+  post : Interval.t array array;
+  relax : relaxation array array;
+}
+
+exception Empty_region
+
+let exact = { al = 1.0; bl = 0.0; au = 1.0; bu = 0.0 }
+let zero_relax = { al = 0.0; bl = 0.0; au = 0.0; bu = 0.0 }
+let const_relax lo hi = { al = 0.0; bl = lo; au = 0.0; bu = hi }
+
+let relax_of act (iv : Interval.t) =
+  let l = iv.Interval.lo and u = iv.Interval.hi in
+  match act with
+  | Nn.Activation.Identity -> exact
+  | Nn.Activation.Relu ->
+      if l >= 0.0 then exact
+      else if u <= 0.0 then zero_relax
+      else
+        (* DeepPoly triangle: upper bound is the chord through (l, 0)
+           and (u, u); the lower bound keeps slope 1 when the active
+           side dominates (u > -l) and slope 0 otherwise, minimising
+           the area between the two lines. *)
+        let s = u /. (u -. l) in
+        {
+          al = (if u > -.l then 1.0 else 0.0);
+          bl = 0.0;
+          au = s;
+          bu = -.s *. l;
+        }
+  | Nn.Activation.Tanh -> const_relax (tanh l) (tanh u)
+  | Nn.Activation.Sigmoid ->
+      let f x = 1.0 /. (1.0 +. exp (-.x)) in
+      const_relax (f l) (f u)
+
+(* Concretise a linear form over the post-activations of [layer]
+   ([layer = -1]: directly over the inputs) by back-substitution: walk
+   towards the inputs, replacing each neuron by the sound side of its
+   scalar relaxation (post -> pre) and then by its exact affine
+   incoming map (pre -> previous post), and finally evaluate the
+   input-level form over the box. [coeffs] is consumed. *)
+let concretise ~dir net (relax : relaxation array array) box ~layer coeffs
+    const =
+  let coeffs = ref coeffs and const = ref const in
+  for k = layer downto 0 do
+    let c = !coeffs in
+    let n = Array.length c in
+    (* post(k) -> pre(k): a positive coefficient needs the upper
+       relaxation when maximising and the lower when minimising;
+       a negative coefficient the other way round. *)
+    let cst = ref !const in
+    for j = 0 to n - 1 do
+      let cj = c.(j) in
+      if cj <> 0.0 then begin
+        let r = relax.(k).(j) in
+        let a, b =
+          match dir with
+          | `Upper -> if cj >= 0.0 then (r.au, r.bu) else (r.al, r.bl)
+          | `Lower -> if cj >= 0.0 then (r.al, r.bl) else (r.au, r.bu)
+        in
+        c.(j) <- cj *. a;
+        cst := !cst +. (cj *. b)
+      end
+    done;
+    (* pre(k) = W_k * post(k-1) + b_k, an exact substitution. *)
+    let lay = Nn.Network.layer net k in
+    let w = lay.Nn.Layer.weights and b = lay.Nn.Layer.bias in
+    let in_dim = Nn.Layer.input_dim lay in
+    let next = Array.make in_dim 0.0 in
+    for j = 0 to n - 1 do
+      let cj = c.(j) in
+      if cj <> 0.0 then begin
+        cst := !cst +. (cj *. b.(j));
+        for i = 0 to in_dim - 1 do
+          next.(i) <- next.(i) +. (cj *. Linalg.Mat.get w j i)
+        done
+      end
+    done;
+    coeffs := next;
+    const := !cst
+  done;
+  let iv = Interval.affine !coeffs !const box in
+  match dir with `Upper -> iv.Interval.hi | `Lower -> iv.Interval.lo
+
+let propagate_internal ?phases net box =
+  if Array.length box <> Nn.Network.input_dim net then
+    invalid_arg "Symbolic.propagate: box dimension mismatch";
+  let nlayers = Nn.Network.num_layers net in
+  let pre = Array.make nlayers [||] in
+  let post = Array.make nlayers [||] in
+  let relax = Array.make nlayers [||] in
+  (* Interval propagation runs alongside and is intersected in, so the
+     result is pointwise never looser than Bounds.propagate; the
+     back-substitution then only ever helps. *)
+  let current = ref box in
+  for li = 0 to nlayers - 1 do
+    let layer = Nn.Network.layer net li in
+    let weights = layer.Nn.Layer.weights and bias = layer.Nn.Layer.bias in
+    let out_dim = Nn.Layer.output_dim layer in
+    let z =
+      Array.init out_dim (fun r ->
+          let itv =
+            Interval.affine (Linalg.Mat.row weights r) bias.(r) !current
+          in
+          if li = 0 then itv (* the first layer is exact either way *)
+          else begin
+            let hi =
+              concretise ~dir:`Upper net relax box ~layer:(li - 1)
+                (Linalg.Mat.row weights r) bias.(r)
+            in
+            let lo =
+              concretise ~dir:`Lower net relax box ~layer:(li - 1)
+                (Linalg.Mat.row weights r) bias.(r)
+            in
+            let lo = Float.max lo itv.Interval.lo in
+            let hi = Float.min hi itv.Interval.hi in
+            (* Two sound bounds computed in different fp orders can
+               cross by ulps when the true range is a point. *)
+            if lo <= hi then Interval.make lo hi
+            else Interval.point (0.5 *. (lo +. hi))
+          end)
+    in
+    (match phases with
+     | None -> ()
+     | Some ph ->
+         Array.iteri
+           (fun r (iv : Interval.t) ->
+             match ph.(li).(r) with
+             | Free -> ()
+             | Fixed_active ->
+                 if iv.Interval.hi < 0.0 then raise Empty_region;
+                 z.(r) <- Interval.make (Float.max 0.0 iv.Interval.lo)
+                            iv.Interval.hi
+             | Fixed_inactive ->
+                 if iv.Interval.lo > 0.0 then raise Empty_region;
+                 z.(r) <- Interval.make iv.Interval.lo
+                            (Float.min 0.0 iv.Interval.hi))
+           z);
+    pre.(li) <- z;
+    (* Phase-fixed neurons fall out naturally: a clamped pre-interval
+       makes relax_of return the exact (active) or zero (inactive)
+       transfer. *)
+    relax.(li) <- Array.map (relax_of layer.Nn.Layer.activation) z;
+    post.(li) <-
+      Array.map (Nn.Activation.interval layer.Nn.Layer.activation) z;
+    current := post.(li)
+  done;
+  { pre; post; relax }
+
+let propagate net box = propagate_internal net box
+
+let propagate_phases ~phases net box =
+  if Array.length phases <> Nn.Network.num_layers net then
+    invalid_arg "Symbolic.propagate_phases: phase table layer mismatch";
+  try Some (propagate_internal ~phases net box)
+  with Empty_region -> None
+
+let no_phases net =
+  Array.init (Nn.Network.num_layers net) (fun i ->
+      Array.make (Nn.Layer.output_dim (Nn.Network.layer net i)) Free)
+
+let output_bounds t = t.post.(Array.length t.post - 1)
+
+let count_unstable net t =
+  let count = ref 0 in
+  for i = 0 to Nn.Network.num_layers net - 2 do
+    let layer = Nn.Network.layer net i in
+    if layer.Nn.Layer.activation = Nn.Activation.Relu then
+      Array.iter
+        (fun (iv : Interval.t) ->
+          if iv.Interval.lo < 0.0 && iv.Interval.hi > 0.0 then incr count)
+        t.pre.(i)
+  done;
+  !count
+
+let mean_pre_width t =
+  let total = ref 0.0 and n = ref 0 in
+  Array.iter
+    (Array.iter (fun iv ->
+         total := !total +. Interval.width iv;
+         incr n))
+    t.pre;
+  if !n = 0 then 0.0 else !total /. float_of_int !n

@@ -1,0 +1,75 @@
+(** Symbolic bound propagation (DeepPoly-style abstract interpretation).
+
+    Where {!Encoding.Bounds} pushes one concrete interval per neuron
+    through the network — and pays the dependency problem at every
+    layer — this analyzer keeps, for every neuron, a symbolic {e lower}
+    and {e upper} linear form over the input box. Pre-activation bounds
+    are concretised by back-substituting the form through all earlier
+    layers down to the inputs, taking the sound side of each neuron's
+    scalar activation relaxation along the way (Singh et al., "An
+    Abstract Domain for Certifying Neural Networks", POPL 2019; the
+    CROWN/DeepPoly family surveyed by Kwiatkowska & Zhang 2023).
+
+    One pass costs a handful of matrix products — no LP solves — and on
+    realistic depths yields markedly tighter bounds than interval
+    propagation: fewer unstable ReLU neurons (= fewer MILP binaries),
+    tighter big-M constants, and output bounds strong enough to
+    discharge many properties without any branch & bound at all.
+
+    The analysis is {e incomplete} but {e sound}: every concretised
+    interval contains the true range of the neuron over the box (and is
+    intersected with plain interval propagation, so it is pointwise
+    never looser than {!Encoding.Bounds.propagate}). *)
+
+type phase =
+  | Free            (** no branching decision for this neuron *)
+  | Fixed_active    (** region restricted to pre-activation >= 0 *)
+  | Fixed_inactive  (** region restricted to pre-activation <= 0 *)
+
+type relaxation = { al : float; bl : float; au : float; bu : float }
+(** Scalar activation relaxation on the neuron's concrete pre-activation
+    interval [\[l, u\]]: [al*z + bl <= act z <= au*z + bu] for all
+    [z] in [\[l, u\]]. ReLU uses the DeepPoly triangle (upper chord
+    through [(l, 0)] and [(u, u)], lower slope 0 or 1 — whichever
+    minimises the relaxation area); identity is exact; tanh/sigmoid use
+    the exact monotone interval transfer as constant bounds. *)
+
+type t = {
+  pre : Interval.t array array;
+      (** concretised pre-activation bounds per layer and neuron *)
+  post : Interval.t array array;  (** post-activation bounds *)
+  relax : relaxation array array;
+      (** the scalar relaxation used for each neuron *)
+}
+
+val propagate : Nn.Network.t -> Interval.Box.box -> t
+(** Analyze the whole box. Raises [Invalid_argument] on an input
+    dimension mismatch. Works for any activation the network uses
+    (non-piecewise-linear layers degrade to their monotone interval
+    transfer). *)
+
+val propagate_phases :
+  phases:phase array array -> Nn.Network.t -> Interval.Box.box -> t option
+(** Branch-aware re-propagation: analyze the sub-region of the box where
+    every [Fixed_active] neuron has non-negative pre-activation and
+    every [Fixed_inactive] one non-positive. Fixed neurons get exact
+    transfer (active: [a = z]; inactive: [a = 0]), so bounds downstream
+    of a branching decision tighten accordingly. Returns [None] when a
+    fix contradicts the bounds (the sub-region is empty — the caller can
+    prune that subtree outright). [phases] is indexed
+    [layer][neuron] and must cover every layer. *)
+
+val no_phases : Nn.Network.t -> phase array array
+(** An all-[Free] phase table shaped like the network. *)
+
+val output_bounds : t -> Interval.t array
+(** Post-activation bounds of the last layer: sound bounds on every
+    network output over the analyzed (sub-)region. *)
+
+val count_unstable : Nn.Network.t -> t -> int
+(** Hidden ReLU neurons whose sign the symbolic bounds do not decide
+    (mirrors {!Encoding.Bounds.count_unstable}). *)
+
+val mean_pre_width : t -> float
+(** Mean width of all pre-activation bounds — the bench's one-number
+    tightness summary (smaller is tighter). *)

@@ -43,3 +43,18 @@ let count_unstable net t =
         t.pre.(i)
   done;
   !count
+
+let stability_counts net t =
+  let active = ref 0 and inactive = ref 0 and unstable = ref 0 in
+  for i = 0 to Nn.Network.num_layers net - 2 do
+    let layer = Nn.Network.layer net i in
+    if layer.Nn.Layer.activation = Nn.Activation.Relu then
+      Array.iter
+        (fun z ->
+          match relu_stability z with
+          | Stable_active -> incr active
+          | Stable_inactive -> incr inactive
+          | Unstable -> incr unstable)
+        t.pre.(i)
+  done;
+  (!active, !inactive, !unstable)

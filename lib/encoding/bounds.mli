@@ -30,3 +30,8 @@ val relu_stability : Interval.t -> stability
 val count_unstable : Nn.Network.t -> t -> int
 (** Number of hidden ReLU neurons whose sign is not decided by the
     bounds (= number of binaries the encoder will create). *)
+
+val stability_counts : Nn.Network.t -> t -> int * int * int
+(** [(stable_active, stable_inactive, unstable)] over all hidden ReLU
+    neurons — the per-bound-mode breakdown the CLI prints so the
+    binary-count reduction of a tighter analysis is visible. *)

@@ -1,4 +1,8 @@
-type bound_mode = Interval_bounds | Coarse of float
+type bound_mode = Interval_bounds | Symbolic_bounds | Coarse of float
+
+let symbolic_bounds net box =
+  let s = Absint.Symbolic.propagate net box in
+  { Bounds.pre = s.Absint.Symbolic.pre; post = s.Absint.Symbolic.post }
 
 type stats = { stable_active : int; stable_inactive : int; unstable : int }
 
@@ -253,6 +257,7 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
   let bounds =
     match bound_mode with
     | Interval_bounds -> Bounds.propagate net box
+    | Symbolic_bounds -> symbolic_bounds net box
     | Coarse radius ->
         let inside =
           Array.for_all
@@ -293,6 +298,50 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
    be passed per solve call ([Milp.Solver.solve ~objective]) so the
    shared encoding is never mutated and queries can fan out. *)
 let output_objective t k = [ (t.output_vars.(k), 1.0) ]
+
+(* Branch-aware symbolic re-propagation for [Milp.Solver.solve
+   ~node_bound]: a node's fixed binaries are ReLU phase decisions, so
+   re-running the DeepPoly analyzer on the phase-restricted region gives
+   an independent sound upper bound on output [output] over the whole
+   subtree. The LP relaxation uses the *root* big-M constants; the
+   re-propagation recomputes every bound downstream of a fix, which is
+   what lets it prune subtrees the LP bound cannot. Pure and
+   allocation-only, hence safe to call concurrently from worker
+   domains. *)
+let symbolic_node_bound t net box ~output =
+  let binary = Hashtbl.create 64 in
+  List.iter (fun (v, li, r) -> Hashtbl.replace binary v (li, r)) t.binaries;
+  (* Computed eagerly: [lazy] would race when the closure is shared by
+     worker domains ({!Milp.Parallel.solve} calls it concurrently). *)
+  let root_bound =
+    let s = Absint.Symbolic.propagate net box in
+    (Absint.Symbolic.output_bounds s).(output).Interval.hi
+  in
+  fun fixes ->
+    let phases = Absint.Symbolic.no_phases net in
+    let fixed = ref false in
+    List.iter
+      (fun (v, lo, hi) ->
+        match Hashtbl.find_opt binary v with
+        | Some (li, r) ->
+            (* d = 0 forces the neuron inactive (a = 0); d = 1 forces
+               a = z >= 0. A binary is fixed at most once per path. *)
+            if hi <= 0.5 then begin
+              phases.(li).(r) <- Absint.Symbolic.Fixed_inactive;
+              fixed := true
+            end
+            else if lo >= 0.5 then begin
+              phases.(li).(r) <- Absint.Symbolic.Fixed_active;
+              fixed := true
+            end
+        | None -> ())
+      fixes;
+    if not !fixed then Some root_bound
+    else
+      match Absint.Symbolic.propagate_phases ~phases net box with
+      | None -> Some neg_infinity (* the fixes contradict the bounds *)
+      | Some s ->
+          Some (Absint.Symbolic.output_bounds s).(output).Interval.hi
 
 let layer_order_priority t =
   let table = Hashtbl.create 64 in

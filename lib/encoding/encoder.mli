@@ -16,6 +16,13 @@
 
 type bound_mode =
   | Interval_bounds  (** propagate the actual input box (tight) *)
+  | Symbolic_bounds
+      (** DeepPoly-style symbolic propagation ({!Absint.Symbolic}):
+          per-neuron linear forms back-substituted to the input box.
+          Pointwise at least as tight as [Interval_bounds] — typically
+          far tighter from the second hidden layer on — so the encoding
+          gets smaller big-M constants and fewer binary variables, in
+          one cheap LP-free pass. *)
   | Coarse of float
       (** ablation: bounds from a global input radius (loose big-M) *)
 
@@ -76,6 +83,24 @@ val output_objective : t -> int -> (Milp.Model.var * float) list
     coordinate [k], as terms for [Milp.Solver.solve ~objective] (or
     {!Milp.Parallel.solve}). Pure data: the encoding is never mutated,
     so one encoding serves many queries — even concurrently. *)
+
+val symbolic_node_bound :
+  t ->
+  Nn.Network.t ->
+  Interval.Box.box ->
+  output:int ->
+  (Milp.Model.var * float * float) list ->
+  float option
+(** [symbolic_node_bound enc net box ~output] builds the
+    [?node_bound] callback for {!Milp.Solver.solve} /
+    {!Milp.Parallel.solve} when the solve maximises output coordinate
+    [output] (i.e. its objective is [output_objective enc output]): a
+    node's fixed binaries are interpreted as ReLU phase decisions and
+    the symbolic analyzer is re-run on the phase-restricted region,
+    yielding a sound upper bound on the objective over the node's whole
+    subtree ([neg_infinity] when the fixes contradict the bounds — the
+    subtree is empty). Pure; safe to call concurrently from worker
+    domains. *)
 
 val layer_order_priority : t -> Milp.Model.var -> int
 (** Branching priority that explores earlier layers first (the encoding

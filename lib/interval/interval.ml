@@ -77,4 +77,5 @@ module Box = struct
 
   let sample box rng = Array.map (fun i -> Linalg.Rng.uniform rng i.lo i.hi) box
   let center box = Array.map mid box
+  let total_width box = Array.fold_left (fun acc i -> acc +. width i) 0.0 box
 end

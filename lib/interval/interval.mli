@@ -50,4 +50,8 @@ module Box : sig
   (** Uniform sample from the box. *)
 
   val center : box -> Linalg.Vec.t
+
+  val total_width : box -> float
+  (** Sum of the widths of every coordinate interval (a one-number
+      tightness measure for comparing bound analyses). *)
 end

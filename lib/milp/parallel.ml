@@ -77,12 +77,13 @@ let map ?(cores = 1) ~init f items =
 
 let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
     ?(eps = 1e-6) ?(int_eps = 1e-6) ?(branch_rule = Search.Most_fractional)
-    ?depth_first ?(cutoff = neg_infinity) ?primal_heuristic ?objective
-    ?(warm = true) model =
+    ?depth_first ?(cutoff = neg_infinity) ?primal_heuristic ?node_bound
+    ?objective ?(warm = true) model =
   let cores = max 1 cores in
   if cores = 1 then
     Solver.solve ~time_limit ~node_limit ~eps ~int_eps ~branch_rule
-      ?depth_first ~cutoff ?primal_heuristic ?objective ~warm model
+      ?depth_first ~cutoff ?primal_heuristic ?node_bound ?objective ~warm
+      model
   else begin
     (* [depth_first] is a sequential ablation hook; the shared pool is
        always best-first. *)
@@ -117,41 +118,60 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
     (* Solve the node's relaxation on the domain-private [problem] and
        return the children to enqueue. *)
     let evaluate problem node =
-      Search.with_node_bounds problem node (fun () ->
-          (* Basis snapshots are immutable values, so a node stolen from
-             another domain warm-starts on this domain's private LP copy
-             without any sharing hazard. *)
-          let relax =
-            match (if warm then node.Search.parent_basis else None) with
-            | Some b -> Lp.Simplex.resolve ~basis:b problem
-            | None -> Lp.Simplex.solve problem
-          in
-          ignore (Atomic.fetch_and_add lp_iters relax.Lp.Simplex.iterations);
-          match relax.Lp.Simplex.status with
-          | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> []
-          | Lp.Simplex.Optimal ->
-              let bound = relax.Lp.Simplex.objective in
-              (match primal_heuristic with
-               | Some heuristic -> (
-                   match heuristic relax.Lp.Simplex.x with
-                   | Some (point, value) -> offer point value
-                   | None -> ())
-               | None -> ());
-              if bound > incumbent_value () +. eps then begin
-                match
-                  Search.select_branch_var branch_rule ints int_eps
-                    relax.Lp.Simplex.x
-                with
-                | None ->
-                    offer relax.Lp.Simplex.x bound;
-                    []
-                | Some v ->
-                    let xv = relax.Lp.Simplex.x.(v) in
-                    let lo, hi = Lp.Problem.bounds problem v in
-                    Search.branch node ~v ~xv ~lo ~hi ~bound
-                      ~basis:(if warm then relax.Lp.Simplex.basis else None)
-              end
-              else [])
+      (* Analysis bound first (cf. {!Solver.solve}): callers promise the
+         callback is domain-safe, so workers may run it concurrently. *)
+      let analysis_cap =
+        match node_bound with
+        | Some f -> f node.Search.fixes
+        | None -> None
+      in
+      let analysis_pruned =
+        match analysis_cap with
+        | Some b -> b <= incumbent_value () +. eps
+        | None -> false
+      in
+      if analysis_pruned then []
+      else
+        Search.with_node_bounds problem node (fun () ->
+            (* Basis snapshots are immutable values, so a node stolen
+               from another domain warm-starts on this domain's private
+               LP copy without any sharing hazard. *)
+            let relax =
+              match (if warm then node.Search.parent_basis else None) with
+              | Some b -> Lp.Simplex.resolve ~basis:b problem
+              | None -> Lp.Simplex.solve problem
+            in
+            ignore (Atomic.fetch_and_add lp_iters relax.Lp.Simplex.iterations);
+            match relax.Lp.Simplex.status with
+            | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> []
+            | Lp.Simplex.Optimal ->
+                let lp_bound = relax.Lp.Simplex.objective in
+                let bound =
+                  match analysis_cap with
+                  | Some b -> Float.min b lp_bound
+                  | None -> lp_bound
+                in
+                (match primal_heuristic with
+                 | Some heuristic -> (
+                     match heuristic relax.Lp.Simplex.x with
+                     | Some (point, value) -> offer point value
+                     | None -> ())
+                 | None -> ());
+                if bound > incumbent_value () +. eps then begin
+                  match
+                    Search.select_branch_var branch_rule ints int_eps
+                      relax.Lp.Simplex.x
+                  with
+                  | None ->
+                      offer relax.Lp.Simplex.x lp_bound;
+                      []
+                  | Some v ->
+                      let xv = relax.Lp.Simplex.x.(v) in
+                      let lo, hi = Lp.Problem.bounds problem v in
+                      Search.branch node ~v ~xv ~lo ~hi ~bound
+                        ~basis:(if warm then relax.Lp.Simplex.basis else None)
+                end
+                else [])
     in
     let worker () =
       let problem = Lp.Problem.copy base in
@@ -270,7 +290,7 @@ let solve ?(cores = 1) ?(time_limit = infinity) ?(node_limit = max_int)
   end
 
 let solve_min ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
-    ?depth_first ?cutoff ?primal_heuristic ?objective ?warm model =
+    ?depth_first ?cutoff ?primal_heuristic ?node_bound ?objective ?warm model =
   let minned = Model.copy model in
   let problem = Model.lp minned in
   let n = Lp.Problem.num_vars problem in
@@ -284,11 +304,17 @@ let solve_min ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
       (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
       primal_heuristic
   in
+  let neg_node_bound =
+    Option.map
+      (fun f fixes -> Option.map (fun b -> -.b) (f fixes))
+      node_bound
+  in
   let r =
     solve ?cores ?time_limit ?node_limit ?eps ?int_eps ?branch_rule
       ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
-      ?primal_heuristic:neg_heuristic ?objective:neg_objective ?warm minned
+      ?primal_heuristic:neg_heuristic ?node_bound:neg_node_bound
+      ?objective:neg_objective ?warm minned
   in
   {
     r with

@@ -52,6 +52,7 @@ val solve :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
   Model.t ->
@@ -63,7 +64,10 @@ val solve :
     concurrent queries over one shared encoding are safe; [warm]
     (default [true]) warm-starts each node from its parent's basis —
     snapshots are immutable, so stolen nodes warm-start safely on any
-    domain. *)
+    domain. [node_bound], like [primal_heuristic], is invoked
+    concurrently from worker domains and must be thread-safe (the
+    encoder's symbolic re-propagation only reads the network and
+    bounds, which qualifies). *)
 
 val solve_min :
   ?cores:int ->
@@ -75,10 +79,12 @@ val solve_min :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
   Model.t ->
   Solver.result
 (** Minimise, like {!Solver.solve_min} (operates on a private copy of
     the model; the caller's objective is never touched). An [objective]
-    override is given in the minimisation sense. *)
+    override and [node_bound] are given in the minimisation sense
+    ([node_bound] returns a lower bound on the subtree minimum). *)

@@ -17,8 +17,8 @@ type branch_rule = Search.branch_rule =
 
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
-    ?(cutoff = neg_infinity) ?primal_heuristic ?objective ?(warm = true)
-    model =
+    ?(cutoff = neg_infinity) ?primal_heuristic ?node_bound ?objective
+    ?(warm = true) model =
   let base = Model.lp model in
   let ints = Model.integer_vars model in
   let start = Unix.gettimeofday () in
@@ -97,6 +97,22 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
             loop ()
           else begin
             incr nodes;
+            (* Independent analysis bound over the node's subtree (e.g.
+               symbolic re-propagation of its fixed ReLU phases). When
+               it already prunes, the node costs no LP at all; otherwise
+               it caps the LP bound below. *)
+            let analysis_cap =
+              match node_bound with
+              | Some f -> f node.Search.fixes
+              | None -> None
+            in
+            let analysis_pruned =
+              match analysis_cap with
+              | Some b -> b <= !incumbent_value +. eps
+              | None -> false
+            in
+            if analysis_pruned then loop ()
+            else begin
             Search.with_node_bounds problem node (fun () ->
                 let relax =
                   match (if warm then node.Search.parent_basis else None) with
@@ -107,7 +123,15 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                 match relax.Lp.Simplex.status with
                 | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
                 | Lp.Simplex.Optimal ->
-                    let bound = relax.Lp.Simplex.objective in
+                    let lp_bound = relax.Lp.Simplex.objective in
+                    (* The subtree bound is the tighter of the LP
+                       relaxation and the analysis cap; a feasible
+                       integral point still scores its true LP value. *)
+                    let bound =
+                      match analysis_cap with
+                      | Some b -> Float.min b lp_bound
+                      | None -> lp_bound
+                    in
                     (* Caller-supplied rounding heuristic: project the
                        relaxation point onto a feasible integral one. *)
                     (match primal_heuristic with
@@ -126,8 +150,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                       with
                       | None ->
                           (* Integral: new incumbent. *)
-                          incumbent := Some (relax.Lp.Simplex.x, bound);
-                          incumbent_value := bound
+                          incumbent := Some (relax.Lp.Simplex.x, lp_bound);
+                          incumbent_value := lp_bound
                       | Some v ->
                           let xv = relax.Lp.Simplex.x.(v) in
                           let lo, hi = Lp.Problem.bounds problem v in
@@ -137,13 +161,14 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                           List.iter push
                             (Search.branch node ~v ~xv ~lo ~hi ~bound ~basis)
                     end);
-            loop ()
+              loop ()
+            end
           end
   in
   loop ()
 
 let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
-    ?cutoff ?primal_heuristic ?objective ?warm model =
+    ?cutoff ?primal_heuristic ?node_bound ?objective ?warm model =
   (* Negate the objective on a private copy of the model, maximise, then
      report back in min sense. The caller's model is never touched, so
      concurrent solves over the same model are safe and an exception
@@ -163,10 +188,18 @@ let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
       (fun h x -> Option.map (fun (p, v) -> (p, -.v)) (h x))
       primal_heuristic
   in
+  (* A min-sense node bound is a lower bound on the subtree minimum;
+     negated it is an upper bound on the negated-objective maximum. *)
+  let neg_node_bound =
+    Option.map
+      (fun f fixes -> Option.map (fun b -> -.b) (f fixes))
+      node_bound
+  in
   let r =
     solve ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
-      ?primal_heuristic:neg_heuristic ?objective:neg_objective ?warm minned
+      ?primal_heuristic:neg_heuristic ?node_bound:neg_node_bound
+      ?objective:neg_objective ?warm minned
   in
   {
     r with

@@ -47,6 +47,7 @@ val solve :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
   Model.t ->
@@ -74,7 +75,19 @@ val solve :
     may return a {e feasible} integral solution vector and its objective
     value, which is adopted as incumbent when it improves. The solver
     trusts the caller on feasibility (the NN encoder derives such points
-    by forward-running the network on the relaxation's input block). *)
+    by forward-running the network on the relaxation's input block).
+
+    [node_bound] is an independent analysis bound: called with a node's
+    accumulated branching fixes [(var, lo, hi)] {e before} its LP is
+    solved, it may return a sound upper bound on the objective over the
+    node's whole subtree (e.g. symbolic bound re-propagation of the
+    fixed ReLU phases — see [Encoding.Encoder.symbolic_node_bound]).
+    When the returned bound already loses to the incumbent the node is
+    pruned without any LP work; [neg_infinity] declares the subtree
+    empty; otherwise the bound caps the LP relaxation bound used for
+    pruning and branching. The callback must be sound — a bound below
+    the true subtree maximum can prune the optimum away — and, for
+    {!Parallel.solve}, safe to call from multiple domains at once. *)
 
 val solve_min :
   ?time_limit:float ->
@@ -85,10 +98,12 @@ val solve_min :
   ?depth_first:bool ->
   ?cutoff:float ->
   ?primal_heuristic:(float array -> (float array * float) option) ->
+  ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
   Model.t ->
   result
 (** Minimise; [best_bound] is then a valid lower bound, and incumbent
     objectives are reported in the minimisation sense. An [objective]
-    override is given in the minimisation sense too. *)
+    override is given in the minimisation sense too, and [node_bound]
+    must return a {e lower} bound on the subtree minimum. *)

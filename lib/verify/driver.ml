@@ -12,9 +12,11 @@ type max_result = {
   timed_out : bool;
   witness : witness option;
   elapsed : float;
+  component_elapsed : float array;
   nodes : int;
   lp_iterations : int;
   unstable_neurons : int;
+  encoder_stats : Encoding.Encoder.stats;
   obbt : Encoding.Encoder.obbt_stats;
 }
 
@@ -23,20 +25,41 @@ let witness_of_solution enc net ~component ~output_index solution =
   let outputs = Nn.Network.forward net input in
   { input; outputs; achieved = outputs.(output_index); component }
 
+(* The analysis upper bound on output [k] over the whole box: the last
+   post-activation bound of the encoding. Sound in every bound mode and
+   tightest under [Symbolic_bounds] — this is what the incomplete
+   pre-pass and the solver-bound capping read. *)
+let output_upper enc k =
+  let post = enc.Encoding.Encoder.bounds.Encoding.Bounds.post in
+  post.(Array.length post - 1).(k).Interval.hi
+
+(* The branch-aware analysis callback: only the symbolic analyzer can
+   re-propagate a node's fixed ReLU phases, so the hook exists only in
+   [Symbolic_bounds] mode. *)
+let node_bound_for ~bound_mode enc net box ~output =
+  match bound_mode with
+  | Encoding.Encoder.Symbolic_bounds ->
+      Some (Encoding.Encoder.symbolic_node_bound enc net box ~output)
+  | Encoding.Encoder.Interval_bounds | Encoding.Encoder.Coarse _ -> None
+
 (* Maximise a set of output coordinates one by one over the same
    encoding; the overall maximum is the max of the per-coordinate
    results.
 
    Budget contract: [time_limit] covers *everything* — OBBT tightening
    during [encode] and every output query. OBBT may take at most half
-   the budget; each query then gets an equal share of whatever is left
-   *at the moment it starts*, so time unspent by fast early queries
-   (or by cheap OBBT) rolls over to later ones and the total can never
-   exceed the caller's limit by more than one node's slack. (The old
-   scheme granted OBBT 0.5x and the queries 1.0x on top — a legal 1.5x
-   over-spend.) *)
-let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interval_bounds)
-    ?(tighten_rounds = 1) ?(depth_first = false) ?(cores = 1) ?(warm = true)
+   the budget. Sequentially ([cores = 1] or a single query) each query
+   gets an equal share of whatever is left *at the moment it starts*,
+   so time unspent by fast early queries (or by cheap OBBT) rolls over
+   to later ones. With [cores > 1] and several queries, the queries
+   themselves run concurrently on the worker domains and each receives
+   an equal share of the remaining budget up front — the shares are
+   spent in parallel, so the wall-clock total still respects the
+   caller's limit. Either way the total can never exceed the limit by
+   more than one node's slack. *)
+let maximize_outputs ?(time_limit = 60.0)
+    ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
+    ?(depth_first = false) ?(cores = 1) ?(warm = true)
     ~outputs:output_indices net box =
   let started = Unix.gettimeofday () in
   let deadline = started +. time_limit in
@@ -45,35 +68,62 @@ let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interv
       ~tighten_budget:(0.5 *. time_limit) ~cores net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
-  let n_queries = List.length output_indices in
+  let queries = Array.of_list output_indices in
+  let n_queries = Array.length queries in
+  let run_query ~cores ~per_query_limit k =
+    (* Any relaxation point projects to a feasible incumbent: forward-
+       run the network on its input block. *)
+    let primal_heuristic relaxation =
+      let input = Encoding.Encoder.input_point enc relaxation in
+      let point = Encoding.Encoder.assignment_of_input enc net input in
+      Some (point, point.(enc.Encoding.Encoder.output_vars.(k)))
+    in
+    Milp.Parallel.solve ~cores ~time_limit:per_query_limit
+      ~branch_rule:(Milp.Solver.Priority priority) ~depth_first
+      ~primal_heuristic
+      ?node_bound:(node_bound_for ~bound_mode enc net box ~output:k)
+      ~objective:(Encoding.Encoder.output_objective enc k)
+      ~warm enc.Encoding.Encoder.model
+  in
+  let results =
+    if cores > 1 && n_queries > 1 then begin
+      (* Per-component parallelism: the queries fan out over the worker
+         domains (each solving sequentially inside — no nested domain
+         oversubscription), every query granted an equal share of the
+         remaining budget up front. *)
+      let share =
+        Float.max 0.0
+          ((deadline -. Unix.gettimeofday ()) /. float_of_int n_queries)
+      in
+      Milp.Parallel.map ~cores:(min cores n_queries)
+        ~init:(fun () -> ())
+        (fun () k -> run_query ~cores:1 ~per_query_limit:share k)
+        queries
+    end
+    else begin
+      let results = Array.make n_queries None in
+      for qi = 0 to n_queries - 1 do
+        let per_query_limit =
+          Float.max 0.0
+            ((deadline -. Unix.gettimeofday ())
+            /. float_of_int (n_queries - qi))
+        in
+        results.(qi) <- Some (run_query ~cores ~per_query_limit queries.(qi))
+      done;
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+  in
   let best_value = ref None and best_witness = ref None in
   let upper = ref neg_infinity in
   let any_timeout = ref false and all_optimal = ref true in
-  let nodes = ref 0 and lp_iters = ref 0 and elapsed = ref 0.0 in
-  List.iteri
-    (fun qi k ->
-      let queries_left = n_queries - qi in
-      let per_query_limit =
-        Float.max 0.0
-          ((deadline -. Unix.gettimeofday ()) /. float_of_int queries_left)
-      in
-      (* Any relaxation point projects to a feasible incumbent: forward-
-         run the network on its input block. *)
-      let primal_heuristic relaxation =
-        let input = Encoding.Encoder.input_point enc relaxation in
-        let point = Encoding.Encoder.assignment_of_input enc net input in
-        Some (point, point.(enc.Encoding.Encoder.output_vars.(k)))
-      in
-      let r =
-        Milp.Parallel.solve ~cores ~time_limit:per_query_limit
-          ~branch_rule:(Milp.Solver.Priority priority) ~depth_first
-          ~primal_heuristic
-          ~objective:(Encoding.Encoder.output_objective enc k)
-          ~warm enc.Encoding.Encoder.model
-      in
+  let nodes = ref 0 and lp_iters = ref 0 in
+  let component_elapsed = Array.make n_queries 0.0 in
+  Array.iteri
+    (fun qi r ->
+      let k = queries.(qi) in
+      component_elapsed.(qi) <- r.Milp.Solver.elapsed;
       nodes := !nodes + r.Milp.Solver.nodes;
       lp_iters := !lp_iters + r.Milp.Solver.lp_iterations;
-      elapsed := !elapsed +. r.Milp.Solver.elapsed;
       (match r.Milp.Solver.outcome with
        | Milp.Solver.Optimal -> ()
        | Milp.Solver.Time_limit | Milp.Solver.Node_limit ->
@@ -83,7 +133,11 @@ let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interv
            (* An empty box cannot happen for well-formed scenarios; treat
               as an unfinished query. *)
            all_optimal := false);
-      upper := Float.max !upper r.Milp.Solver.best_bound;
+      (* Two sound upper bounds on this output — the solver's and the
+         analysis one — so the tighter of the two stands. *)
+      upper :=
+        Float.max !upper
+          (Float.min r.Milp.Solver.best_bound (output_upper enc k));
       match r.Milp.Solver.incumbent with
       | Some (solution, objective) ->
           let better =
@@ -92,20 +146,24 @@ let maximize_outputs ?(time_limit = 60.0) ?(bound_mode = Encoding.Encoder.Interv
           if better then begin
             best_value := Some objective;
             best_witness :=
-              Some (witness_of_solution enc net ~component:qi ~output_index:k solution)
+              Some
+                (witness_of_solution enc net ~component:qi ~output_index:k
+                   solution)
           end
       | None -> ())
-    output_indices;
+    results;
   {
     value = !best_value;
     upper_bound = !upper;
     optimal = !all_optimal && !best_value <> None;
     timed_out = !any_timeout;
     witness = !best_witness;
-    elapsed = !elapsed;
+    elapsed = Unix.gettimeofday () -. started;
+    component_elapsed;
     nodes = !nodes;
     lp_iterations = !lp_iters;
     unstable_neurons = enc.Encoding.Encoder.stats.Encoding.Encoder.unstable;
+    encoder_stats = enc.Encoding.Encoder.stats;
     obbt = enc.Encoding.Encoder.obbt;
   }
 
@@ -124,7 +182,12 @@ let maximize_output ?time_limit ?bound_mode ?tighten_rounds ?depth_first
 
 type proof = Proved | Disproved of witness | Unknown of { best_bound : float }
 
-type proof_result = { proof : proof; proof_elapsed : float; proof_nodes : int }
+type proof_result = {
+  proof : proof;
+  proof_elapsed : float;
+  proof_nodes : int;
+  presolved : int;
+}
 
 let prove_lateral_velocity_le ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
@@ -138,47 +201,68 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
       ~tighten_budget:(0.5 *. time_limit) ~cores net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
-  let elapsed = ref 0.0 and nodes = ref 0 in
-  let rec prove k worst_bound =
-    if k >= components then
-      if worst_bound <= threshold then Some Proved
-      else Some (Unknown { best_bound = worst_bound })
-    else begin
-      let output = Nn.Gmm.mu_lat_index ~components k in
-      let per_query_limit =
-        Float.max 0.0
-          ((deadline -. Unix.gettimeofday ()) /. float_of_int (components - k))
-      in
-      let r =
-        Milp.Parallel.solve ~cores ~time_limit:per_query_limit
-          ~cutoff:threshold ~branch_rule:(Milp.Solver.Priority priority)
-          ~objective:(Encoding.Encoder.output_objective enc output)
-          ~warm enc.Encoding.Encoder.model
-      in
-      elapsed := !elapsed +. r.Milp.Solver.elapsed;
-      nodes := !nodes + r.Milp.Solver.nodes;
-      match r.Milp.Solver.incumbent with
-      | Some (solution, _) ->
-          (* A feasible point above the cutoff refutes the property. *)
-          Some
-            (Disproved
+  let nodes = ref 0 in
+  (* Incomplete pre-pass: a component whose analysis upper bound already
+     meets the threshold is discharged with zero search nodes. Under
+     [Symbolic_bounds] this alone often proves the property — the MILP
+     machinery below then never runs. *)
+  let discharged, pending =
+    List.partition
+      (fun k ->
+        output_upper enc (Nn.Gmm.mu_lat_index ~components k) <= threshold)
+      (List.init components Fun.id)
+  in
+  let presolved = List.length discharged in
+  let presolved_bound =
+    List.fold_left
+      (fun acc k ->
+        Float.max acc (output_upper enc (Nn.Gmm.mu_lat_index ~components k)))
+      neg_infinity discharged
+  in
+  let rec prove queue worst_bound =
+    match queue with
+    | [] ->
+        if worst_bound <= threshold then Proved
+        else Unknown { best_bound = worst_bound }
+    | k :: rest ->
+        let output = Nn.Gmm.mu_lat_index ~components k in
+        let per_query_limit =
+          Float.max 0.0
+            ((deadline -. Unix.gettimeofday ())
+            /. float_of_int (List.length queue))
+        in
+        let r =
+          Milp.Parallel.solve ~cores ~time_limit:per_query_limit
+            ~cutoff:threshold ~branch_rule:(Milp.Solver.Priority priority)
+            ?node_bound:(node_bound_for ~bound_mode enc net box ~output)
+            ~objective:(Encoding.Encoder.output_objective enc output)
+            ~warm enc.Encoding.Encoder.model
+        in
+        nodes := !nodes + r.Milp.Solver.nodes;
+        (match r.Milp.Solver.incumbent with
+         | Some (solution, _) ->
+             (* A feasible point above the cutoff refutes the property. *)
+             Disproved
                (witness_of_solution enc net ~component:k ~output_index:output
-                  solution))
-      | None -> (
-          match r.Milp.Solver.outcome with
-          | Milp.Solver.Optimal ->
-              prove (k + 1) (Float.max worst_bound threshold)
-          | Milp.Solver.Time_limit | Milp.Solver.Node_limit | Milp.Solver.Infeasible
-            ->
-              prove (k + 1) (Float.max worst_bound r.Milp.Solver.best_bound))
-    end
+                  solution)
+         | None -> (
+             match r.Milp.Solver.outcome with
+             | Milp.Solver.Optimal ->
+                 prove rest (Float.max worst_bound threshold)
+             | Milp.Solver.Time_limit | Milp.Solver.Node_limit
+             | Milp.Solver.Infeasible ->
+                 prove rest
+                   (Float.max worst_bound
+                      (Float.min r.Milp.Solver.best_bound
+                         (output_upper enc output)))))
   in
-  let proof =
-    match prove 0 neg_infinity with
-    | Some p -> p
-    | None -> Unknown { best_bound = infinity }
-  in
-  { proof; proof_elapsed = !elapsed; proof_nodes = !nodes }
+  let proof = prove pending presolved_bound in
+  {
+    proof;
+    proof_elapsed = Unix.gettimeofday () -. started;
+    proof_nodes = !nodes;
+    presolved;
+  }
 
 let sampled_max_lateral_velocity ~rng ~samples ~components net box =
   if samples <= 0 then invalid_arg "Driver.sampled_max_lateral_velocity";

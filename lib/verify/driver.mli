@@ -19,14 +19,21 @@ type witness = {
 
 type max_result = {
   value : float option;   (** best maximum found (None: no solve finished) *)
-  upper_bound : float;     (** proven sound upper bound *)
+  upper_bound : float;
+      (** proven sound upper bound: the tighter of the solver bound and
+          the encoding's analysis bound on each output *)
   optimal : bool;          (** value = exact maximum *)
   timed_out : bool;
   witness : witness option;
-  elapsed : float;
+  elapsed : float;         (** whole-call wall clock, encoding included *)
+  component_elapsed : float array;
+      (** per-component solver seconds, in query order — shows how the
+          budget was actually spent, sequentially or across domains *)
   nodes : int;
   lp_iterations : int;
   unstable_neurons : int;  (** binaries in the encoding *)
+  encoder_stats : Encoding.Encoder.stats;
+      (** full stable/unstable breakdown under the chosen bound mode *)
   obbt : Encoding.Encoder.obbt_stats;
       (** OBBT accounting: refined / failed / skipped-by-budget probes *)
 }
@@ -43,17 +50,29 @@ val max_lateral_velocity :
   Interval.Box.box ->
   max_result
 (** [time_limit] (default 60 s) bounds the {e whole} call: OBBT
-    tightening spends from it (at most half) and each per-component
-    solve gets an equal share of the time remaining when it starts, so
-    leftover time from fast queries rolls over to later ones and the
-    total elapsed respects the caller's limit (plus at most one node's
-    slack). [tighten_rounds] (default 1) rounds of OBBT are applied
-    before searching (see {!Encoding.Encoder.encode}). [cores]
-    (default 1) runs both the OBBT probes and each branch & bound
-    search on that many worker domains ({!Milp.Parallel}); results
-    agree with [cores = 1] up to solver epsilon. [warm] (default
-    [true]) warm-starts child nodes from parent bases; pass [false]
-    for cold-solve ablations. *)
+    tightening spends from it (at most half) and the component queries
+    share the remainder — sequentially each query gets an equal share
+    of the time remaining when it starts (leftover time from fast
+    queries rolls over to later ones); with [cores > 1] and several
+    components the queries themselves run {e concurrently} on the
+    worker domains, each granted an equal share of the remaining budget
+    up front (the inner solves are then sequential, so domains are
+    never oversubscribed). Either way the total elapsed respects the
+    caller's limit (plus at most one node's slack). [tighten_rounds]
+    (default 1) rounds of OBBT are applied before searching (see
+    {!Encoding.Encoder.encode}). [cores] (default 1) also runs the
+    OBBT probes on that many domains ({!Milp.Parallel}); results agree
+    with [cores = 1] up to solver epsilon. [warm] (default [true])
+    warm-starts child nodes from parent bases; pass [false] for
+    cold-solve ablations.
+
+    [bound_mode] selects the encoder's bound analysis
+    ({!Encoding.Encoder.bound_mode}). Under [Symbolic_bounds] the
+    driver additionally (1) caps [upper_bound] with the symbolic output
+    bound and (2) passes the branch-aware symbolic re-propagation hook
+    ([Encoding.Encoder.symbolic_node_bound]) to the solver, pruning
+    subtrees whose fixed ReLU phases already bound the objective below
+    the incumbent. *)
 
 val maximize_output :
   ?time_limit:float ->
@@ -75,8 +94,14 @@ type proof =
 
 type proof_result = {
   proof : proof;
-  proof_elapsed : float;
+  proof_elapsed : float;  (** whole-call wall clock, encoding included *)
   proof_nodes : int;
+      (** branch & bound nodes across all component queries; [0] when
+          the analysis pre-pass discharged every component *)
+  presolved : int;
+      (** components discharged by the incomplete pre-pass alone — their
+          analysis upper bound already met the threshold, so no MILP
+          search ran for them *)
 }
 
 val prove_lateral_velocity_le :
@@ -91,7 +116,16 @@ val prove_lateral_velocity_le :
   Interval.Box.box ->
   proof_result
 (** Decision query under the same whole-call budget contract as
-    {!max_lateral_velocity}. *)
+    {!max_lateral_velocity}.
+
+    An incomplete analysis pre-pass runs first: any component whose
+    output upper bound from the encoding's bound analysis (symbolic
+    under [Symbolic_bounds]) already meets [threshold] is discharged
+    without any search — [presolved] counts them. When the pre-pass
+    discharges every component the verdict is [Proved] with
+    [proof_nodes = 0]. Remaining components fall through to the cutoff
+    MILP query (branch-aware symbolic pruning enabled under
+    [Symbolic_bounds]). *)
 
 val sampled_max_lateral_velocity :
   rng:Linalg.Rng.t ->

@@ -1,0 +1,236 @@
+(* Soundness and tightness of the DeepPoly-style symbolic analyzer. *)
+
+let small_net ?hidden_activation seed dims =
+  let rng = Linalg.Rng.create seed in
+  Nn.Network.create ~rng ?hidden_activation dims
+
+let box dim radius = Array.make dim (Interval.make (-.radius) radius)
+
+let contains ?(slack = 1e-7) (iv : Interval.t) z =
+  z >= iv.Interval.lo -. slack && z <= iv.Interval.hi +. slack
+
+(* Every sampled forward trace must sit inside the concretised bounds —
+   layer by layer, pre- and post-activation. *)
+let trace_inside (s : Absint.Symbolic.t) net trace =
+  let ok = ref true in
+  for li = 0 to Nn.Network.num_layers net - 1 do
+    Array.iteri
+      (fun r z -> if not (contains s.Absint.Symbolic.pre.(li).(r) z) then ok := false)
+      trace.Nn.Network.pre.(li);
+    Array.iteri
+      (fun r a -> if not (contains s.Absint.Symbolic.post.(li).(r) a) then ok := false)
+      trace.Nn.Network.post.(li)
+  done;
+  !ok
+
+let prop_symbolic_sound =
+  QCheck.Test.make ~name:"symbolic bounds contain sampled traces" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 4; 6; 6; 3 ] in
+      let b0 = box 4 0.8 in
+      let s = Absint.Symbolic.propagate net b0 in
+      let rng = Linalg.Rng.create (seed + 1) in
+      List.for_all
+        (fun _ ->
+          let x = Interval.Box.sample b0 rng in
+          trace_inside s net (Nn.Network.forward_trace net x))
+        (List.init 30 Fun.id))
+
+let prop_symbolic_sound_tanh =
+  (* Non-piecewise-linear activations degrade to the monotone interval
+     transfer but must stay sound. *)
+  QCheck.Test.make ~name:"symbolic bounds sound on tanh nets" ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net =
+        small_net ~hidden_activation:Nn.Activation.Tanh seed [ 3; 5; 5; 2 ]
+      in
+      let b0 = box 3 0.7 in
+      let s = Absint.Symbolic.propagate net b0 in
+      let rng = Linalg.Rng.create (seed + 5) in
+      List.for_all
+        (fun _ ->
+          let x = Interval.Box.sample b0 rng in
+          trace_inside s net (Nn.Network.forward_trace net x))
+        (List.init 20 Fun.id))
+
+let prop_never_looser_than_interval =
+  QCheck.Test.make
+    ~name:"symbolic pre-bounds pointwise within interval pre-bounds"
+    ~count:40
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 4; 7; 7; 7; 2 ] in
+      let b0 = box 4 0.6 in
+      let s = Absint.Symbolic.propagate net b0 in
+      let b = Encoding.Bounds.propagate net b0 in
+      let ok = ref true in
+      for li = 0 to Nn.Network.num_layers net - 1 do
+        Array.iteri
+          (fun r (iv : Interval.t) ->
+            let sv = s.Absint.Symbolic.pre.(li).(r) in
+            if
+              sv.Interval.lo < iv.Interval.lo -. 1e-9
+              || sv.Interval.hi > iv.Interval.hi +. 1e-9
+            then ok := false)
+          b.Encoding.Bounds.pre.(li)
+      done;
+      !ok)
+
+let prop_output_bounds_dominate_sampling =
+  QCheck.Test.make ~name:"output bounds dominate sampled outputs" ~count:30
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 3; 6; 6; 2 ] in
+      let b0 = box 3 0.5 in
+      let out =
+        Absint.Symbolic.output_bounds (Absint.Symbolic.propagate net b0)
+      in
+      let rng = Linalg.Rng.create (seed + 9) in
+      List.for_all
+        (fun _ ->
+          let y = Nn.Network.forward net (Interval.Box.sample b0 rng) in
+          Array.for_all2 (fun iv z -> contains iv z) out y)
+        (List.init 25 Fun.id))
+
+let prop_phase_fixing_sound =
+  (* Fix every hidden neuron to the phase a sampled point actually
+     takes: the point lies in the restricted region, so the re-
+     propagated bounds must still contain its trace. *)
+  QCheck.Test.make ~name:"phase-fixed bounds contain conforming traces"
+    ~count:30
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 4; 6; 6; 2 ] in
+      let b0 = box 4 0.6 in
+      let rng = Linalg.Rng.create (seed + 3) in
+      let x = Interval.Box.sample b0 rng in
+      let trace = Nn.Network.forward_trace net x in
+      let phases = Absint.Symbolic.no_phases net in
+      for li = 0 to Nn.Network.num_layers net - 2 do
+        Array.iteri
+          (fun r z ->
+            if z > 1e-9 then phases.(li).(r) <- Absint.Symbolic.Fixed_active
+            else if z < -1e-9 then
+              phases.(li).(r) <- Absint.Symbolic.Fixed_inactive)
+          trace.Nn.Network.pre.(li)
+      done;
+      match Absint.Symbolic.propagate_phases ~phases net b0 with
+      | None -> false (* the region contains x: it cannot be empty *)
+      | Some s -> trace_inside s net trace)
+
+let prop_all_free_phases_identity =
+  (* propagate_phases with an all-Free table is the unrestricted
+     analysis: it must agree exactly with propagate.  (Note: fixing a
+     phase rebuilds the ReLU relaxations on the clamped pre-domain,
+     which is sound on the sub-region but NOT guaranteed pointwise
+     tighter than the free bounds — so we deliberately do not assert a
+     monotonicity property here.) *)
+  QCheck.Test.make ~name:"all-free phase table equals free propagation"
+    ~count:30
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 4; 6; 6; 2 ] in
+      let b0 = box 4 0.6 in
+      let free = Absint.Symbolic.propagate net b0 in
+      let phases = Absint.Symbolic.no_phases net in
+      match Absint.Symbolic.propagate_phases ~phases net b0 with
+      | None -> false
+      | Some s ->
+          let ok = ref true in
+          for li = 0 to Nn.Network.num_layers net - 1 do
+            Array.iteri
+              (fun r (iv : Interval.t) ->
+                let fv = free.Absint.Symbolic.pre.(li).(r) in
+                if
+                  abs_float (iv.Interval.lo -. fv.Interval.lo) > 1e-12
+                  || abs_float (iv.Interval.hi -. fv.Interval.hi) > 1e-12
+                then ok := false)
+              s.Absint.Symbolic.pre.(li)
+          done;
+          !ok)
+
+let test_dim_mismatch () =
+  let net = small_net 1 [ 3; 5; 2 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Absint.Symbolic.propagate net (box 4 1.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_conflicting_phases_empty () =
+  (* Force a hidden neuron to be stably active (huge bias), then fix it
+     inactive: the restricted region is empty and the analyzer must say
+     so rather than return bounds. *)
+  let net = small_net 2 [ 3; 5; 2 ] in
+  let layer0 = Nn.Network.layer net 0 in
+  layer0.Nn.Layer.bias.(0) <- 100.0;
+  let phases = Absint.Symbolic.no_phases net in
+  phases.(0).(0) <- Absint.Symbolic.Fixed_inactive;
+  Alcotest.(check bool) "empty region detected" true
+    (Absint.Symbolic.propagate_phases ~phases net (box 3 0.5) = None)
+
+let test_identity_layers_exact () =
+  (* A purely linear network keeps exact linear forms, so the symbolic
+     output bound equals the single-affine-map interval bound — with no
+     dependency-problem blowup across depth. *)
+  let rng = Linalg.Rng.create 3 in
+  let net =
+    Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Identity
+      [ 3; 4; 4; 2 ]
+  in
+  let b0 = box 3 1.0 in
+  let s = Absint.Symbolic.propagate net b0 in
+  (* Sample hard and compare: symbolic should be nearly attained
+     because the composition collapses to one affine map. *)
+  let rng = Linalg.Rng.create 4 in
+  let out = Absint.Symbolic.output_bounds s in
+  let best = Array.map (fun _ -> neg_infinity) out in
+  for _ = 1 to 4000 do
+    let x = Interval.Box.sample b0 rng in
+    let y = Nn.Network.forward net x in
+    Array.iteri (fun k v -> if v > best.(k) then best.(k) <- v) y
+  done;
+  Array.iteri
+    (fun k (iv : Interval.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output %d bound nearly attained" k)
+        true
+        (best.(k) <= iv.Interval.hi +. 1e-9
+        && iv.Interval.hi -. best.(k) < 0.75))
+    out
+
+let test_counts_and_width () =
+  let net = small_net 5 [ 4; 8; 8; 2 ] in
+  let b0 = box 4 0.5 in
+  let s = Absint.Symbolic.propagate net b0 in
+  let b = Encoding.Bounds.propagate net b0 in
+  Alcotest.(check bool) "symbolic unstable <= interval unstable" true
+    (Absint.Symbolic.count_unstable net s
+    <= Encoding.Bounds.count_unstable net b);
+  Alcotest.(check bool) "mean width positive" true
+    (Absint.Symbolic.mean_pre_width s > 0.0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "absint"
+    [
+      ( "symbolic",
+        [
+          quick "dim mismatch" test_dim_mismatch;
+          quick "conflicting phases" test_conflicting_phases_empty;
+          quick "identity exact" test_identity_layers_exact;
+          quick "counts and width" test_counts_and_width;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_symbolic_sound;
+            prop_symbolic_sound_tanh;
+            prop_never_looser_than_interval;
+            prop_output_bounds_dominate_sampling;
+            prop_phase_fixing_sound;
+            prop_all_free_phases_identity;
+          ] );
+    ]

@@ -235,6 +235,101 @@ let test_coarse_mode_same_optimum () =
     (List.length loose.Encoding.Encoder.binaries
      >= List.length tight.Encoding.Encoder.binaries)
 
+let test_symbolic_mode_same_optimum () =
+  (* Tighter big-M constants must not change the optimum. *)
+  let net = small_net 20 [ 3; 6; 6; 2 ] in
+  let b0 = box 3 0.5 in
+  let interval = Encoding.Encoder.encode ~tighten_rounds:0 net b0 in
+  let symbolic =
+    Encoding.Encoder.encode ~bound_mode:Encoding.Encoder.Symbolic_bounds
+      ~tighten_rounds:0 net b0
+  in
+  Alcotest.(check (float 1e-4)) "same optimum" (milp_max interval 0)
+    (milp_max symbolic 0);
+  Alcotest.(check bool) "symbolic has at most as many binaries" true
+    (List.length symbolic.Encoding.Encoder.binaries
+    <= List.length interval.Encoding.Encoder.binaries)
+
+let test_symbolic_fewer_unstable_on_smoke_model () =
+  (* Acceptance criterion: on the smoke model the symbolic analysis
+     must remove binaries outright — strictly fewer unstable neurons
+     than interval propagation, with no OBBT helping either side.
+     Freshly initialised nets have zero-mean pre-activations, so even
+     much tighter bounds still straddle 0; shift the second hidden
+     layer's biases to the nonzero operating points a trained
+     predictor exhibits, where tightness converts into stability. *)
+  let rng = Linalg.Rng.create 21 in
+  let net =
+    Nn.Network.create ~rng [ 6; 10; 10; Nn.Gmm.output_dim ~components:2 ]
+  in
+  let l1 = Nn.Network.layer net 1 in
+  Array.iteri
+    (fun r _ ->
+      l1.Nn.Layer.bias.(r) <-
+        (l1.Nn.Layer.bias.(r) +. if r mod 2 = 0 then 2.5 else -2.5))
+    l1.Nn.Layer.bias;
+  let b0 = Array.make 6 (Interval.make (-0.4) 0.4) in
+  let interval = Encoding.Encoder.encode ~tighten_rounds:0 net b0 in
+  let symbolic =
+    Encoding.Encoder.encode ~bound_mode:Encoding.Encoder.Symbolic_bounds
+      ~tighten_rounds:0 net b0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer binaries (%d < %d)"
+       symbolic.Encoding.Encoder.stats.Encoding.Encoder.unstable
+       interval.Encoding.Encoder.stats.Encoding.Encoder.unstable)
+    true
+    (symbolic.Encoding.Encoder.stats.Encoding.Encoder.unstable
+    < interval.Encoding.Encoder.stats.Encoding.Encoder.unstable)
+
+let prop_encoder_faithful_symbolic =
+  QCheck.Test.make ~name:"forward traces satisfy the symbolic encoding"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let net = small_net seed [ 3; 5; 5; 2 ] in
+      let b0 = box 3 0.6 in
+      let enc =
+        Encoding.Encoder.encode ~bound_mode:Encoding.Encoder.Symbolic_bounds
+          net b0
+      in
+      let rng = Linalg.Rng.create (seed + 23) in
+      List.for_all
+        (fun _ ->
+          Encoding.Encoder.check_faithful enc net (Interval.Box.sample b0 rng))
+        (List.init 15 Fun.id))
+
+let test_symbolic_node_bound_caps_root () =
+  (* With no binaries fixed, the callback must return the plain
+     symbolic output bound — a sound cap on the root relaxation. *)
+  let net = small_net 22 [ 4; 8; 8; 2 ] in
+  let b0 = box 4 0.5 in
+  let enc =
+    Encoding.Encoder.encode ~bound_mode:Encoding.Encoder.Symbolic_bounds
+      ~tighten_rounds:0 net b0
+  in
+  let nb = Encoding.Encoder.symbolic_node_bound enc net b0 ~output:0 in
+  (match nb [] with
+   | Some root ->
+       let exact = milp_max enc 0 in
+       Alcotest.(check bool) "root cap above exact max" true (root >= exact -. 1e-6)
+   | None -> Alcotest.fail "expected a root bound");
+  (* Fixing a binary both ways: each subtree bound stays above what the
+     subtree can actually achieve, and at least one side retains the
+     global optimum. *)
+  match enc.Encoding.Encoder.binaries with
+  | [] -> ()
+  | (v, _, _) :: _ ->
+      let exact = milp_max enc 0 in
+      let bound_of fix =
+        match nb [ fix ] with
+        | Some b -> b
+        | None -> neg_infinity
+      in
+      let b0' = bound_of (v, 0.0, 0.0) and b1 = bound_of (v, 1.0, 1.0) in
+      Alcotest.(check bool) "one side keeps the optimum" true
+        (Float.max b0' b1 >= exact -. 1e-6)
+
 let test_obbt_preserves_optimum () =
   (* OBBT must not change the exact maximum, only shrink the encoding. *)
   let net = small_net 14 [ 4; 8; 8; 3 ] in
@@ -319,11 +414,18 @@ let () =
           quick "input point" test_input_point_extraction;
           quick "layer priority" test_layer_order_priority;
           slow "coarse same optimum" test_coarse_mode_same_optimum;
+          slow "symbolic same optimum" test_symbolic_mode_same_optimum;
+          quick "symbolic fewer unstable (smoke model)"
+            test_symbolic_fewer_unstable_on_smoke_model;
+          slow "symbolic node bound" test_symbolic_node_bound_caps_root;
           slow "OBBT preserves optimum" test_obbt_preserves_optimum;
           slow "OBBT bounds sound" test_obbt_bounds_sound;
           quick "OBBT zero budget skips" test_obbt_zero_budget_counts_skips;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_bounds_sound; prop_encoder_faithful ] );
+          [
+            prop_bounds_sound; prop_encoder_faithful;
+            prop_encoder_faithful_symbolic;
+          ] );
     ]

@@ -108,9 +108,12 @@ let max_result ~upper_bound : Verify.Driver.max_result =
     timed_out = true;
     witness = None;
     elapsed = 0.0;
+    component_elapsed = [||];
     nodes = 0;
     lp_iterations = 0;
     unstable_neurons = 0;
+    encoder_stats =
+      { Encoding.Encoder.stable_active = 0; stable_inactive = 0; unstable = 0 };
     obbt =
       { Encoding.Encoder.probes = 0; refined = 0; failed = 0;
         skipped_budget = 0 };

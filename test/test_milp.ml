@@ -138,6 +138,84 @@ let test_primal_heuristic_adopted () =
   Alcotest.(check bool) "heuristic called" true (!calls > 0);
   Alcotest.(check (float 1e-9)) "optimum via heuristic" 1.0 (incumbent_value r)
 
+(* The reference knapsack from [test_knapsack_known]: optimum 21. *)
+let knapsack_model () =
+  let m = Milp.Model.create () in
+  let values = [| 10.0; 13.0; 7.0; 8.0 |]
+  and weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let xs = Array.map (fun _ -> Milp.Model.add_binary m ()) values in
+  Milp.Model.add_le m
+    (Array.to_list (Array.mapi (fun i x -> (x, weights.(i))) xs))
+    10.0;
+  Milp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (x, values.(i))) xs));
+  m
+
+let test_node_bound_sound_cap_same_answer () =
+  (* Any sound analysis cap must leave outcome and optimum unchanged —
+     a loose one (sum of all values) and the tightest possible one
+     (the optimum itself). *)
+  let plain = Milp.Solver.solve (knapsack_model ()) in
+  let loose =
+    Milp.Solver.solve ~node_bound:(fun _ -> Some 38.0) (knapsack_model ())
+  in
+  let tight =
+    Milp.Solver.solve ~node_bound:(fun _ -> Some 21.0) (knapsack_model ())
+  in
+  List.iter
+    (fun r ->
+      check_outcome Milp.Solver.Optimal r;
+      Alcotest.(check (float 1e-6)) "optimum" 21.0 (incumbent_value r))
+    [ plain; loose; tight ];
+  Alcotest.(check bool) "tight cap explores no more nodes" true
+    (tight.Milp.Solver.nodes <= plain.Milp.Solver.nodes)
+
+let test_node_bound_sees_fixes () =
+  (* The callback receives the node's accumulated branching fixes. *)
+  let deepest = ref 0 in
+  let r =
+    Milp.Solver.solve
+      ~node_bound:(fun fixes ->
+        deepest := max !deepest (List.length fixes);
+        None)
+      (knapsack_model ())
+  in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check bool) "branching fixes were visible" true (!deepest > 0)
+
+let test_node_bound_empty_subtree_prunes () =
+  (* Declaring every subtree empty collapses the search at the root. *)
+  let r =
+    Milp.Solver.solve ~node_bound:(fun _ -> Some neg_infinity)
+      (knapsack_model ())
+  in
+  check_outcome Milp.Solver.Infeasible r;
+  Alcotest.(check int) "only the root was touched" 1 r.Milp.Solver.nodes;
+  Alcotest.(check int) "no LP was solved" 0 r.Milp.Solver.lp_iterations
+
+let test_node_bound_solve_min_sense () =
+  (* In min sense the callback supplies a lower bound; the trivially
+     valid 0 (all values non-negative... here objective min x+y over the
+     knapsack is 0) must not disturb the answer. *)
+  let m = knapsack_model () in
+  let r = Milp.Solver.solve_min ~node_bound:(fun _ -> Some 0.0) m in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check (float 1e-6)) "minimum is the empty knapsack" 0.0
+    (incumbent_value r)
+
+let test_parallel_node_bound_same_answer () =
+  List.iter
+    (fun cores ->
+      let r =
+        Milp.Parallel.solve ~cores ~node_bound:(fun _ -> Some 38.0)
+          (knapsack_model ())
+      in
+      check_outcome Milp.Solver.Optimal r;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "optimum on %d cores" cores)
+        21.0 (incumbent_value r))
+    [ 1; 2; 4 ]
+
 let test_model_bookkeeping () =
   let m = Milp.Model.create () in
   let a = Milp.Model.add_binary m ~name:"a" () in
@@ -441,11 +519,16 @@ let () =
           quick "primal heuristic" test_primal_heuristic_adopted;
           quick "warm matches cold" test_warm_matches_cold;
           quick "objective override" test_objective_override;
+          quick "node bound sound cap" test_node_bound_sound_cap_same_answer;
+          quick "node bound sees fixes" test_node_bound_sees_fixes;
+          quick "node bound empty subtree" test_node_bound_empty_subtree_prunes;
+          quick "node bound min sense" test_node_bound_solve_min_sense;
         ] );
       ("model", [ quick "bookkeeping" test_model_bookkeeping ]);
       ( "parallel",
         [
           quick "knapsack on 1/2/4 cores" test_parallel_knapsack;
+          quick "node bound on 1/2/4 cores" test_parallel_node_bound_same_answer;
           quick "cutoff prunes" test_parallel_cutoff_prunes;
           quick "infeasible" test_parallel_infeasible;
           quick "solve_min leaves objective" test_solve_min_objective_untouched;

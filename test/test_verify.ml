@@ -311,6 +311,98 @@ let test_component_queries_fan_out () =
       | _ -> Alcotest.fail "incumbent presence differs")
     sequential
 
+(* Verdicts must not depend on the bound analysis behind the encoding:
+   tighter big-Ms shrink the search, never the feasible set. *)
+let test_bound_modes_agree () =
+  let net = mini_predictor 50 in
+  let b0 = box 6 0.35 in
+  let run bound_mode =
+    Verify.Driver.max_lateral_velocity ~bound_mode ~tighten_rounds:0
+      ~components:2 net b0
+  in
+  let interval = run Encoding.Encoder.Interval_bounds in
+  let symbolic = run Encoding.Encoder.Symbolic_bounds in
+  Alcotest.(check bool) "interval optimal" true interval.Verify.Driver.optimal;
+  Alcotest.(check bool) "symbolic optimal" true symbolic.Verify.Driver.optimal;
+  Alcotest.(check (float 1e-4)) "same maximum"
+    (Option.get interval.Verify.Driver.value)
+    (Option.get symbolic.Verify.Driver.value);
+  Alcotest.(check int) "per-component timings reported" 2
+    (Array.length symbolic.Verify.Driver.component_elapsed);
+  let st = symbolic.Verify.Driver.encoder_stats in
+  Alcotest.(check int) "stats expose the binary count"
+    symbolic.Verify.Driver.unstable_neurons st.Encoding.Encoder.unstable
+
+(* The incomplete pre-pass alone must prove a Table-II-style decision
+   query — zero branch & bound nodes — when the threshold sits between
+   the symbolic and interval output bounds, i.e. exactly where only the
+   tighter analysis discharges the property. *)
+let test_prepass_proves_with_zero_nodes () =
+  let net = mini_predictor 51 in
+  let b0 = box 6 0.35 in
+  let upper_of bounds k =
+    let post = bounds.Encoding.Bounds.post in
+    post.(Array.length post - 1).(Nn.Gmm.mu_lat_index ~components:2 k)
+      .Interval.hi
+  in
+  let interval_b = Encoding.Bounds.propagate net b0 in
+  let symbolic_b =
+    let s = Absint.Symbolic.propagate net b0 in
+    { Encoding.Bounds.pre = s.Absint.Symbolic.pre; post = s.Absint.Symbolic.post }
+  in
+  let max_over bounds =
+    Float.max (upper_of bounds 0) (upper_of bounds 1)
+  in
+  let sym_u = max_over symbolic_b and int_u = max_over interval_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "symbolic output bound strictly tighter (%.4f < %.4f)"
+       sym_u int_u)
+    true (sym_u < int_u);
+  let threshold = 0.5 *. (sym_u +. int_u) in
+  let proof =
+    Verify.Driver.prove_lateral_velocity_le
+      ~bound_mode:Encoding.Encoder.Symbolic_bounds ~tighten_rounds:0
+      ~components:2 ~threshold net b0
+  in
+  Alcotest.(check bool) "proved" true
+    (proof.Verify.Driver.proof = Verify.Driver.Proved);
+  Alcotest.(check int) "zero search nodes" 0 proof.Verify.Driver.proof_nodes;
+  Alcotest.(check int) "every component presolved" 2
+    proof.Verify.Driver.presolved;
+  (* The same threshold under interval bounds cannot be discharged by
+     the pre-pass (it may still be proved — by actual search). *)
+  let interval_proof =
+    Verify.Driver.prove_lateral_velocity_le
+      ~bound_mode:Encoding.Encoder.Interval_bounds ~tighten_rounds:0
+      ~components:2 ~threshold net b0
+  in
+  Alcotest.(check bool) "interval pre-pass cannot discharge all" true
+    (interval_proof.Verify.Driver.presolved < 2);
+  Alcotest.(check bool) "verdicts agree" true
+    (interval_proof.Verify.Driver.proof = Verify.Driver.Proved)
+
+(* Per-component parallel path: same verdict and value as sequential,
+   one timing slot per component. *)
+let test_parallel_components_agree () =
+  let net = mini_predictor 52 in
+  let b0 = box 6 0.35 in
+  let seq = Verify.Driver.max_lateral_velocity ~components:2 net b0 in
+  let par = Verify.Driver.max_lateral_velocity ~cores:2 ~components:2 net b0 in
+  Alcotest.(check bool) "sequential optimal" true seq.Verify.Driver.optimal;
+  Alcotest.(check bool) "parallel optimal" true par.Verify.Driver.optimal;
+  Alcotest.(check (float 1e-5)) "same maximum"
+    (Option.get seq.Verify.Driver.value)
+    (Option.get par.Verify.Driver.value);
+  Alcotest.(check int) "one timing per component" 2
+    (Array.length par.Verify.Driver.component_elapsed);
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "component %d timing sane" i)
+        true
+        (t >= 0.0 && t <= par.Verify.Driver.elapsed +. 1e-6))
+    par.Verify.Driver.component_elapsed
+
 let test_time_limit_respected () =
   let net = small_net 41 [ 8; 16; 16; 16; 4 ] in
   let b0 = box 8 1.0 in
@@ -384,6 +476,9 @@ let () =
           slow "warm start acceptance" test_warm_start_fewer_iterations_same_answer;
           slow "finite budget global" test_finite_time_limit_respected_globally;
           slow "component fan-out" test_component_queries_fan_out;
+          slow "bound modes agree" test_bound_modes_agree;
+          slow "pre-pass proves, zero nodes" test_prepass_proves_with_zero_nodes;
+          slow "parallel components agree" test_parallel_components_agree;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_zero_time_limit_honest ] );
