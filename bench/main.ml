@@ -10,6 +10,7 @@
      dune exec bench/main.exe micro      -- Bechamel microbenchmarks
      dune exec bench/main.exe warm       -- warm vs cold B&B pivot report
      dune exec bench/main.exe absint     -- symbolic vs interval bound report
+     dune exec bench/main.exe portfolio  -- diver/prover portfolio report
 
    [micro --json] additionally writes the ns/run numbers to
    BENCH_milp.json so successive PRs can track the perf trajectory.
@@ -386,6 +387,49 @@ let fault_bench () =
     report.Fault.Campaign.violation_trials report.Fault.Campaign.silent
     report.Fault.Campaign.escaped_exceptions
 
+(* {1 Portfolio measurements (shared by the report and micro --json)} *)
+
+(* Smoke model shared with the warm-start report: small enough for CI
+   seconds, deep enough that depth-first diving reaches an integral
+   leaf — the first incumbent — well before best-first does. *)
+let portfolio_smoke =
+  lazy
+    (let rng = Linalg.Rng.create 21 in
+     let net =
+       Nn.Network.create ~rng [ 6; 10; 10; Nn.Gmm.output_dim ~components:2 ]
+     in
+     let box = Array.make 6 (Interval.make (-0.25) 0.25) in
+     (net, Encoding.Encoder.encode net box))
+
+(* Single-worker configurations so node counts are deterministic: the
+   comparison is search *order* (diving vs best-first vs the sequential
+   PR-4 baseline), not domain parallelism. The 1:1 row shows the actual
+   two-domain portfolio. *)
+let portfolio_configs =
+  [
+    ("sequential", None);
+    ("best_first_only", Some (0, 1));
+    ("diver_only", Some (1, 0));
+    ("portfolio_1_1", Some (1, 1));
+  ]
+
+let portfolio_measurements () =
+  let _net, enc = Lazy.force portfolio_smoke in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  List.concat_map
+    (fun (name, portfolio) ->
+      List.map
+        (fun k ->
+          let r =
+            Milp.Parallel.solve ?portfolio
+              ~branch_rule:(Milp.Solver.Priority priority)
+              ~objective:(Encoding.Encoder.output_objective enc k)
+              enc.Encoding.Encoder.model
+          in
+          (name, k, r))
+        (List.init 2 (fun k -> Nn.Gmm.mu_lat_index ~components:2 k)))
+    portfolio_configs
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro ?(json = false) () =
@@ -582,10 +626,32 @@ let micro ?(json = false) () =
         Printf.fprintf oc
           "  \"symbolic_bounds\": {\"interval_unstable\": %d, \
            \"symbolic_unstable\": %d, \"interval_mean_width\": %.6f, \
-           \"symbolic_mean_width\": %.6f}\n"
+           \"symbolic_mean_width\": %.6f},\n"
           (Encoding.Bounds.count_unstable net interval_b)
           (Encoding.Bounds.count_unstable net symbolic_b)
           (mean_width interval_b) (mean_width symbolic_b);
+        (* Time-to-first-incumbent trajectory: the smoke-model portfolio
+           rows, so successive PRs can compare diving against the PR-4
+           sequential/best-first baselines. *)
+        let rows = portfolio_measurements () in
+        Printf.fprintf oc "  \"portfolio\": [\n";
+        List.iteri
+          (fun i (name, k, r) ->
+            Printf.fprintf oc
+              "    {\"config\": \"%s\", \"query\": %d, \"nodes\": %d, \
+               \"first_incumbent_nodes\": %s, \"first_incumbent_s\": %s, \
+               \"elapsed_s\": %.4f}%s\n"
+              name k r.Milp.Solver.nodes
+              (match r.Milp.Solver.first_incumbent_nodes with
+               | Some n -> string_of_int n
+               | None -> "null")
+              (match r.Milp.Solver.first_incumbent_elapsed with
+               | Some s -> Printf.sprintf "%.4f" s
+               | None -> "null")
+              r.Milp.Solver.elapsed
+              (if i = List.length rows - 1 then "" else ","))
+          rows;
+        Printf.fprintf oc "  ]\n";
         Printf.fprintf oc "}\n");
     Printf.printf "wrote BENCH_milp.json (%d entries)\n" (List.length measured)
   end
@@ -634,6 +700,37 @@ let warm_report () =
       "\nwarm/cold pivot ratio: %.2f (%d vs %d pivots, %.2fs vs %.2fs)\n"
       (float_of_int !warm_total /. float_of_int !cold_total)
       !warm_total !cold_total !warm_time !cold_time
+
+(* {1 Portfolio report (CI runs this report-only)} *)
+
+let portfolio_report () =
+  heading "Portfolio search: diving + bound proving on the smoke model";
+  let net, enc = Lazy.force portfolio_smoke in
+  Printf.printf "smoke model: %s, %d binaries\n\n" (Nn.Network.describe net)
+    (List.length enc.Encoding.Encoder.binaries);
+  Printf.printf "%-18s %-7s %-7s %-12s %-12s %-9s %s\n" "config" "query"
+    "nodes" "1st-inc nd" "1st-inc s" "total s" "max";
+  let rows = portfolio_measurements () in
+  List.iter
+    (fun (name, k, r) ->
+      Printf.printf "%-18s mu[%d]   %-7d %-12s %-12s %-9.3f %s\n" name k
+        r.Milp.Solver.nodes
+        (match r.Milp.Solver.first_incumbent_nodes with
+         | Some n -> string_of_int n
+         | None -> "-")
+        (match r.Milp.Solver.first_incumbent_elapsed with
+         | Some s -> Printf.sprintf "%.4f" s
+         | None -> "-")
+        r.Milp.Solver.elapsed
+        (match r.Milp.Solver.incumbent with
+         | Some (_, v) -> Printf.sprintf "%.4f" v
+         | None -> "none"))
+    rows;
+  print_endline
+    "\ndiving pops the inactive-neuron child first and reaches an integral\n\
+     leaf in about [depth] nodes; best-first must first exhaust the nodes\n\
+     whose relaxation bound beats the leaf. The 1:1 portfolio inherits the\n\
+     diver's first incumbent and the prover's bound progress."
 
 (* {1 Abstract-interpretation report (CI runs this report-only)} *)
 
@@ -746,6 +843,7 @@ let () =
    | "micro" -> micro ~json ()
    | "warm" -> warm_report ()
    | "absint" -> absint_report ()
+   | "portfolio" -> portfolio_report ()
    | "all" ->
        table1 ();
        table2 ();
@@ -755,11 +853,12 @@ let () =
        fault_bench ();
        micro ~json ();
        warm_report ();
-       absint_report ()
+       absint_report ();
+       portfolio_report ()
    | other ->
        Printf.eprintf
          "unknown mode %s (expected \
-          table1|table2|fig1|mcdc|ablation|fault|micro|warm|absint|all)\n"
+          table1|table2|fig1|mcdc|ablation|fault|micro|warm|absint|portfolio|all)\n"
          other;
        exit 2);
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -44,6 +44,32 @@ let cores_arg =
           "Worker domains for the MILP verifier (bound tightening and \
            branch & bound); 1 = sequential.")
 
+let portfolio_conv =
+  let parse s =
+    match Milp.Parallel.portfolio_of_string s with
+    | Some split -> Ok split
+    | None ->
+        Error
+          (`Msg
+             "expected D:P (divers:provers), two non-negative integers \
+              with at least one worker in total")
+  in
+  let print ppf (d, p) = Format.fprintf ppf "%d:%d" d p in
+  Arg.conv (parse, print)
+
+let portfolio_arg =
+  Arg.(
+    value
+    & opt (some portfolio_conv) None
+    & info [ "portfolio" ] ~docv:"D:P"
+        ~env:(Cmd.Env.info "DEPNN_PORTFOLIO")
+        ~doc:
+          "Diver:prover split for the branch & bound portfolio inside \
+           each MILP query ($(b,D) depth-first diving domains hunting \
+           incumbents, $(b,P) best-first proving domains driving the \
+           bound). Overrides the split derived from $(b,--cores) and \
+           disables the per-component query fan-out.")
+
 let components = 3
 
 (* {1 bound modes} *)
@@ -171,11 +197,13 @@ let net_arg =
     & pos 0 (some file) None
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
-let verify net_path threshold time_limit slack cores bound_mode =
+let verify net_path threshold time_limit slack cores portfolio bound_mode =
   let net = Nn.Io.load net_path in
-  Printf.printf "verifying %s (%d core%s, %s bounds)\n"
-    (Nn.Network.describe net) cores
-    (if cores = 1 then "" else "s")
+  Printf.printf "verifying %s (%s, %s bounds)\n"
+    (Nn.Network.describe net)
+    (match portfolio with
+     | Some (d, p) -> Printf.sprintf "portfolio %d diver:%d prover" d p
+     | None -> Printf.sprintf "%d core%s" cores (if cores = 1 then "" else "s"))
     (bound_mode_name bound_mode);
   let box = Verify.Scenario.vehicle_on_left ~slack () in
   (* Pre-OBBT stability under both analyses, so the binary-count
@@ -194,8 +222,8 @@ let verify net_path threshold time_limit slack cores bound_mode =
      %d/%d/%d\n"
     ia ii iu sa si su;
   let r =
-    Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components
-      ~bound_mode net box
+    Verify.Driver.max_lateral_velocity ~time_limit ~cores ?portfolio
+      ~components ~bound_mode net box
   in
   (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
    | Some v, true ->
@@ -222,8 +250,8 @@ let verify net_path threshold time_limit slack cores bound_mode =
       ob.Encoding.Encoder.probes ob.Encoding.Encoder.refined
       ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget;
   let proof =
-    Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ~components
-      ~bound_mode ~threshold net box
+    Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ?portfolio
+      ~components ~bound_mode ~threshold net box
   in
   if proof.Verify.Driver.presolved > 0 then
     Printf.printf
@@ -261,7 +289,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
     Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg
-          $ bound_mode_arg)
+          $ portfolio_arg $ bound_mode_arg)
 
 (* {1 trace} *)
 
@@ -332,24 +360,24 @@ let record_scenes ~seed ~n =
 
 (* The runtime envelope: either the caller's explicit limit, or the
    MILP-proven bound over the vehicle-on-left scenario box. *)
-let derive_envelope ~lat_limit ~time_limit ~cores net =
+let derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net =
   match lat_limit with
   | Some l -> Guard.envelope ~components ~lat_limit:l ()
   | None ->
       Printf.printf "verifying envelope (%.0fs budget)...\n%!" time_limit;
       let box = Verify.Scenario.vehicle_on_left () in
       let r =
-        Verify.Driver.max_lateral_velocity ~time_limit ~cores ~components net
-          box
+        Verify.Driver.max_lateral_velocity ~time_limit ~cores ?portfolio
+          ~components net box
       in
       let e = Guard.envelope_of_verification ~components r in
       Printf.printf "proven lat limit: %.3f m/s\n%!" e.Guard.lat_limit;
       e
 
 let fault_campaign net_path seed width trials scenes lat_limit time_limit
-    cores reverify smoke =
+    cores portfolio reverify smoke =
   let net = load_or_synthesize net_path ~seed ~width in
-  let envelope = derive_envelope ~lat_limit ~time_limit ~cores net in
+  let envelope = derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net in
   let scenes = record_scenes ~seed ~n:scenes in
   let rng = Linalg.Rng.create seed in
   (* In smoke mode, pin a known overflow-producing bit flip so the NaN
@@ -436,17 +464,17 @@ let fault_campaign_cmd =
        ~doc:"Inject seeded faults and measure how the runtime guard degrades.")
     Term.(const fault_campaign $ opt_net_arg $ seed_arg $ width_arg
           $ trials_arg $ scenes_arg $ lat_limit_arg $ time_limit_arg
-          $ cores_arg $ reverify $ smoke)
+          $ cores_arg $ portfolio_arg $ reverify $ smoke)
 
 let fault_cmd =
   Cmd.group
     (Cmd.info "fault" ~doc:"Fault-injection experiments on the predictor.")
     [ fault_campaign_cmd ]
 
-let guard_run net_path seed width scenes lat_limit time_limit cores
+let guard_run net_path seed width scenes lat_limit time_limit cores portfolio
     demo_fault =
   let net = load_or_synthesize net_path ~seed ~width in
-  let envelope = derive_envelope ~lat_limit ~time_limit ~cores net in
+  let envelope = derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net in
   let scenes = record_scenes ~seed ~n:scenes in
   let subject, channel =
     if not demo_fault then (net, None)
@@ -486,17 +514,19 @@ let guard_cmd =
          "Replay scenes through the runtime safety monitor and print its \
           diagnostics.")
     Term.(const guard_run $ opt_net_arg $ seed_arg $ width_arg $ scenes_arg
-          $ lat_limit_arg $ time_limit_arg $ cores_arg $ demo_fault)
+          $ lat_limit_arg $ time_limit_arg $ cores_arg $ portfolio_arg
+          $ demo_fault)
 
 (* {1 certify} *)
 
-let certify seed width samples epochs cores =
+let certify seed width samples epochs cores portfolio =
   let config =
     {
       (Pipeline.default_config ~width ~seed ()) with
       Pipeline.n_samples = samples;
       epochs;
       verify_cores = cores;
+      verify_portfolio = portfolio;
     }
   in
   let artifacts = Pipeline.run ~progress:print_endline config in
@@ -516,7 +546,7 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify" ~doc:"Run the full three-pillar certification pipeline.")
     Term.(const certify $ seed_arg $ width_arg $ samples_arg $ epochs_arg
-          $ cores_arg)
+          $ cores_arg $ portfolio_arg)
 
 let () =
   let doc = "dependable neural networks for safety-critical applications" in

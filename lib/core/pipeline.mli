@@ -28,12 +28,16 @@ type config = {
   threshold : float;        (** lateral velocity limit, m/s *)
   verify_time_limit : float;  (** seconds, shared over GMM components *)
   verify_cores : int;  (** worker domains for OBBT + branch & bound *)
+  verify_portfolio : (int * int) option;
+      (** explicit diver:prover split for the MILP queries
+          ({!Milp.Parallel.solve}); [None] derives the split from
+          [verify_cores] *)
 }
 
 val default_config : ?width:int -> ?seed:int -> unit -> config
 (** width 10, seed 7, 3 components, 1500 samples, 25% blind-spot rate,
     30 epochs, slack 0.03, threshold 1.5 m/s, 60 s verification limit,
-    1 verification core. *)
+    1 verification core, no explicit portfolio split. *)
 
 type artifacts = {
   used : config;

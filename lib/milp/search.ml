@@ -32,7 +32,9 @@ module Heap = struct
   let push h n =
     if h.size = Array.length h.data then begin
       let cap = if h.size = 0 then 64 else 2 * h.size in
-      let bigger = Array.make cap n in
+      (* Fill with [root], not [n]: the spare capacity must never retain
+         a live node's fix chain or basis snapshot. *)
+      let bigger = Array.make cap root in
       Array.blit h.data 0 bigger 0 h.size;
       h.data <- bigger
     end;
@@ -53,6 +55,11 @@ module Heap = struct
       let top = h.data.(0) in
       h.size <- h.size - 1;
       h.data.(0) <- h.data.(h.size);
+      (* Clear the vacated slot: a stale reference there would retain the
+         popped node's whole fix chain and basis snapshot until the slot
+         happened to be overwritten — unbounded dead retention on a
+         shrinking pool. [root] is the always-live dummy. *)
+      h.data.(h.size) <- root;
       let i = ref 0 in
       let continue = ref true in
       while !continue do
@@ -78,6 +85,98 @@ module Heap = struct
   let peek_bound h = if h.size = 0 then None else Some h.data.(0).parent_bound
 end
 
+(* A pool of open nodes: the one abstraction both search strategies fit
+   behind. Best-first is the shared max-heap; depth-first is a private
+   LIFO stack whose entries carry the running max of open parent bounds
+   (so the global open bound stays O(1), matching the heap's peek).
+
+   The depth-first pool can be bounded: pushing past [max_open] hands
+   the *shallowest* (bottom) entry to the [donate] sink — in the
+   portfolio search that sink is the shared best-first heap, so a
+   diver's hoard never starves the provers. After a bottom donation the
+   running maxes stored above may overstate the open bound; that is
+   sound (the donated node now lives in the sink, which covers it), and
+   the sequential solver never donates. *)
+module Pool = struct
+  type dfs = {
+    mutable stack : (node * float) list;  (* (node, max bound from here down) *)
+    mutable count : int;
+    max_open : int;
+    donate : node -> unit;
+  }
+
+  type t = Best of Heap.t | Dfs of dfs
+
+  let best_first () = Best (Heap.create ())
+
+  let no_donate _ =
+    invalid_arg "Search.Pool: bounded depth-first pool needs a donate sink"
+
+  let depth_first ?(max_open = max_int) ?donate () =
+    if max_open < 0 then invalid_arg "Search.Pool.depth_first: max_open < 0";
+    let donate = match donate with Some f -> f | None -> no_donate in
+    Dfs { stack = []; count = 0; max_open; donate }
+
+  (* Drop the bottom (shallowest, best-bound-first candidate) entry. *)
+  let donate_bottom d =
+    let rec split acc = function
+      | [] -> assert false
+      | [ (bottom, _) ] -> (List.rev acc, bottom)
+      | entry :: rest -> split (entry :: acc) rest
+    in
+    let kept, bottom = split [] d.stack in
+    d.stack <- kept;
+    d.count <- d.count - 1;
+    d.donate bottom
+
+  let push t n =
+    match t with
+    | Best h -> Heap.push h n
+    | Dfs d ->
+        if d.max_open = 0 then d.donate n
+        else begin
+          let below =
+            match d.stack with [] -> neg_infinity | (_, m) :: _ -> m
+          in
+          d.stack <- (n, Float.max n.parent_bound below) :: d.stack;
+          d.count <- d.count + 1;
+          if d.count > d.max_open then donate_bottom d
+        end
+
+  let pop t =
+    match t with
+    | Best h -> Heap.pop h
+    | Dfs d -> (
+        match d.stack with
+        | [] -> None
+        | (n, _) :: rest ->
+            d.stack <- rest;
+            d.count <- d.count - 1;
+            Some n)
+
+  let size t =
+    match t with Best h -> Heap.size h | Dfs d -> d.count
+
+  let peek_bound t =
+    match t with
+    | Best h -> Heap.peek_bound h
+    | Dfs d -> (
+        match d.stack with [] -> None | (_, m) :: _ -> Some m)
+
+  let drain t =
+    match t with
+    | Best h ->
+        let rec go acc =
+          match Heap.pop h with None -> acc | Some n -> go (n :: acc)
+        in
+        go []
+    | Dfs d ->
+        let nodes = List.map fst d.stack in
+        d.stack <- [];
+        d.count <- 0;
+        nodes
+end
+
 let fractionality x =
   let f = x -. Float.round x in
   Float.abs f
@@ -93,7 +192,7 @@ let select_branch_var rule ints int_eps x =
   in
   match fractional with
   | [] -> None
-  | _ :: _ -> (
+  | first_fractional :: _ -> (
       match rule with
       | Most_fractional ->
           let best =
@@ -124,11 +223,19 @@ let select_branch_var rule ints int_eps x =
           in
           best
       | Pseudo_first order ->
-          let in_order =
-            Array.to_list order
-            |> List.filter (fun v -> fractionality x.(v) > int_eps)
+          (* Scan the order array in place: this runs on every node, so
+             the old [Array.to_list |> List.filter] rebuild allocated a
+             list per node for nothing. First ordered variable that is
+             fractional wins; none fractional falls back to the first
+             fractional integer (the outer match guarantees one). *)
+          let n = Array.length order in
+          let rec scan i =
+            if i >= n then Some first_fractional
+            else
+              let v = order.(i) in
+              if fractionality x.(v) > int_eps then Some v else scan (i + 1)
           in
-          (match in_order with v :: _ -> Some v | [] -> (match fractional with v :: _ -> Some v | [] -> None)))
+          scan 0)
 
 (* Evaluate [f] with [node]'s bound chain applied to [problem], then
    undo every write through the journal. Fixes are applied root-first so

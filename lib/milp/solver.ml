@@ -8,6 +8,8 @@ type result = {
   elapsed : float;
   lp_iterations : int;
   failed_workers : int;
+  first_incumbent_nodes : int option;
+  first_incumbent_elapsed : float option;
 }
 
 type branch_rule = Search.branch_rule =
@@ -28,40 +30,31 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
      the copy, so one encoding can serve many queries concurrently. *)
   let problem = Lp.Problem.copy base in
   Option.iter (Lp.Problem.set_objective problem) objective;
-  let heap = Search.Heap.create () in
-  (* The LIFO stack stores (node, running max of open parent bounds from
-     this entry down), so the depth-first path reports the same global
-     open bound as the heap path in O(1). *)
-  let stack : (Search.node * float) list ref = ref [] in
-  let push n =
-    if depth_first then
-      let below =
-        match !stack with [] -> neg_infinity | (_, m) :: _ -> m
-      in
-      stack := (n, Float.max n.Search.parent_bound below) :: !stack
-    else Search.Heap.push heap n
+  (* Both strategies behind the one {!Search.Pool} abstraction; the
+     depth-first pool keeps the O(1) global open bound the old inline
+     stack provided. *)
+  let pool =
+    if depth_first then Search.Pool.depth_first ()
+    else Search.Pool.best_first ()
   in
-  let pop () =
-    if depth_first then
-      match !stack with
-      | [] -> None
-      | (n, _) :: rest ->
-          stack := rest;
-          Some n
-    else Search.Heap.pop heap
-  in
+  let push n = Search.Pool.push pool n in
+  let pop () = Search.Pool.pop pool in
   push Search.root;
   let incumbent = ref None in
   let incumbent_value = ref cutoff in
   let nodes = ref 0 in
   let lp_iters = ref 0 in
+  let first_incumbent = ref None in
+  let adopt point value =
+    incumbent := Some (point, value);
+    incumbent_value := value;
+    if !first_incumbent = None then
+      first_incumbent := Some (!nodes, Unix.gettimeofday () -. start)
+  in
   let best_open_bound () =
-    if depth_first then
-      match !stack with [] -> neg_infinity | (_, m) :: _ -> m
-    else
-      match Search.Heap.peek_bound heap with
-      | Some b -> b
-      | None -> neg_infinity
+    match Search.Pool.peek_bound pool with
+    | Some b -> b
+    | None -> neg_infinity
   in
   let finish outcome =
     let bound =
@@ -78,6 +71,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
       elapsed = Unix.gettimeofday () -. start;
       lp_iterations = !lp_iters;
       failed_workers = 0;
+      first_incumbent_nodes = Option.map fst !first_incumbent;
+      first_incumbent_elapsed = Option.map snd !first_incumbent;
     }
   in
   let rec loop () =
@@ -139,8 +134,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                          match heuristic relax.Lp.Simplex.x with
                          | Some (point, value)
                            when value > !incumbent_value +. eps ->
-                             incumbent := Some (point, value);
-                             incumbent_value := value
+                             adopt point value
                          | Some _ | None -> ())
                      | None -> ());
                     if bound > !incumbent_value +. eps then begin
@@ -150,8 +144,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                       with
                       | None ->
                           (* Integral: new incumbent. *)
-                          incumbent := Some (relax.Lp.Simplex.x, lp_bound);
-                          incumbent_value := lp_bound
+                          adopt relax.Lp.Simplex.x lp_bound
                       | Some v ->
                           let xv = relax.Lp.Simplex.x.(v) in
                           let lo, hi = Lp.Problem.bounds problem v in

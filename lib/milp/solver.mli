@@ -27,6 +27,12 @@ type result = {
       (** worker domains lost to an exception during a parallel solve
           (see {!Parallel.solve}); always [0] for the sequential solver.
           A nonzero count flags a degraded — but still sound — result. *)
+  first_incumbent_nodes : int option;
+      (** nodes evaluated when the {e first} incumbent was adopted
+          ([None]: no incumbent) — the time-to-first-incumbent metric
+          the portfolio's diving group exists to improve *)
+  first_incumbent_elapsed : float option;
+      (** seconds from the start of the solve to the first incumbent *)
 }
 
 type branch_rule = Search.branch_rule =

@@ -59,7 +59,7 @@ let node_bound_for ~bound_mode enc net box ~output =
    more than one node's slack. *)
 let maximize_outputs ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ?(depth_first = false) ?(cores = 1) ?(warm = true)
+    ?(depth_first = false) ?(cores = 1) ?portfolio ?(warm = true)
     ~outputs:output_indices net box =
   let started = Unix.gettimeofday () in
   let deadline = started +. time_limit in
@@ -70,7 +70,7 @@ let maximize_outputs ?(time_limit = 60.0)
   let priority = Encoding.Encoder.layer_order_priority enc in
   let queries = Array.of_list output_indices in
   let n_queries = Array.length queries in
-  let run_query ~cores ~per_query_limit k =
+  let run_query ~cores ~portfolio ~per_query_limit k =
     (* Any relaxation point projects to a feasible incumbent: forward-
        run the network on its input block. *)
     let primal_heuristic relaxation =
@@ -78,7 +78,7 @@ let maximize_outputs ?(time_limit = 60.0)
       let point = Encoding.Encoder.assignment_of_input enc net input in
       Some (point, point.(enc.Encoding.Encoder.output_vars.(k)))
     in
-    Milp.Parallel.solve ~cores ~time_limit:per_query_limit
+    Milp.Parallel.solve ~cores ?portfolio ~time_limit:per_query_limit
       ~branch_rule:(Milp.Solver.Priority priority) ~depth_first
       ~primal_heuristic
       ?node_bound:(node_bound_for ~bound_mode enc net box ~output:k)
@@ -86,18 +86,20 @@ let maximize_outputs ?(time_limit = 60.0)
       ~warm enc.Encoding.Encoder.model
   in
   let results =
-    if cores > 1 && n_queries > 1 then begin
+    if cores > 1 && n_queries > 1 && portfolio = None then begin
       (* Per-component parallelism: the queries fan out over the worker
          domains (each solving sequentially inside — no nested domain
-         oversubscription), every query granted an equal share of the
-         remaining budget up front. *)
+         oversubscription, so the inner solves carry no portfolio
+         either), every query granted an equal share of the remaining
+         budget up front. An explicit portfolio split takes the other
+         branch: the caller asked for within-query parallelism. *)
       let share =
         Float.max 0.0
           ((deadline -. Unix.gettimeofday ()) /. float_of_int n_queries)
       in
       Milp.Parallel.map ~cores:(min cores n_queries)
         ~init:(fun () -> ())
-        (fun () k -> run_query ~cores:1 ~per_query_limit:share k)
+        (fun () k -> run_query ~cores:1 ~portfolio:None ~per_query_limit:share k)
         queries
     end
     else begin
@@ -108,7 +110,8 @@ let maximize_outputs ?(time_limit = 60.0)
             ((deadline -. Unix.gettimeofday ())
             /. float_of_int (n_queries - qi))
         in
-        results.(qi) <- Some (run_query ~cores ~per_query_limit queries.(qi))
+        results.(qi) <-
+          Some (run_query ~cores ~portfolio ~per_query_limit queries.(qi))
       done;
       Array.map (function Some r -> r | None -> assert false) results
     end
@@ -168,17 +171,17 @@ let maximize_outputs ?(time_limit = 60.0)
   }
 
 let max_lateral_velocity ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ?cores ?warm ~components net box =
+    ?cores ?portfolio ?warm ~components net box =
   let outputs =
     List.init components (fun k -> Nn.Gmm.mu_lat_index ~components k)
   in
   maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
-    ?warm ~outputs net box
+    ?portfolio ?warm ~outputs net box
 
 let maximize_output ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ?cores ?warm ~output net box =
+    ?cores ?portfolio ?warm ~output net box =
   maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
-    ?warm ~outputs:[ output ] net box
+    ?portfolio ?warm ~outputs:[ output ] net box
 
 type proof = Proved | Disproved of witness | Unknown of { best_bound : float }
 
@@ -191,7 +194,7 @@ type proof_result = {
 
 let prove_lateral_velocity_le ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ?(cores = 1) ?(warm = true) ~components ~threshold net box =
+    ?(cores = 1) ?portfolio ?(warm = true) ~components ~threshold net box =
   (* Same budget contract as [maximize_outputs]: OBBT spends from the
      global limit, the remainder is re-split before each query. *)
   let started = Unix.gettimeofday () in
@@ -232,7 +235,7 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
             /. float_of_int (List.length queue))
         in
         let r =
-          Milp.Parallel.solve ~cores ~time_limit:per_query_limit
+          Milp.Parallel.solve ~cores ?portfolio ~time_limit:per_query_limit
             ~cutoff:threshold ~branch_rule:(Milp.Solver.Priority priority)
             ?node_bound:(node_bound_for ~bound_mode enc net box ~output)
             ~objective:(Encoding.Encoder.output_objective enc output)

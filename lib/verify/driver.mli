@@ -44,6 +44,7 @@ val max_lateral_velocity :
   ?tighten_rounds:int ->
   ?depth_first:bool ->
   ?cores:int ->
+  ?portfolio:int * int ->
   ?warm:bool ->
   components:int ->
   Nn.Network.t ->
@@ -72,7 +73,15 @@ val max_lateral_velocity :
     bound and (2) passes the branch-aware symbolic re-propagation hook
     ([Encoding.Encoder.symbolic_node_bound]) to the solver, pruning
     subtrees whose fixed ReLU phases already bound the objective below
-    the incumbent. *)
+    the incumbent.
+
+    [portfolio] forces the diver/prover split of {!Milp.Parallel.solve}
+    inside {e each} query. Explicitly splitting disables the
+    per-component fan-out — the caller asked for within-query
+    parallelism — so each component query runs the full portfolio in
+    turn. Left unset, the fan-out path keeps its sequential inner
+    solves and single-query calls inherit the default split from
+    [cores]. *)
 
 val maximize_output :
   ?time_limit:float ->
@@ -80,6 +89,7 @@ val maximize_output :
   ?tighten_rounds:int ->
   ?depth_first:bool ->
   ?cores:int ->
+  ?portfolio:int * int ->
   ?warm:bool ->
   output:int ->
   Nn.Network.t ->
@@ -109,6 +119,7 @@ val prove_lateral_velocity_le :
   ?bound_mode:Encoding.Encoder.bound_mode ->
   ?tighten_rounds:int ->
   ?cores:int ->
+  ?portfolio:int * int ->
   ?warm:bool ->
   components:int ->
   threshold:float ->

@@ -360,6 +360,291 @@ let test_parallel_map_order_and_state () =
     (Array.init 33 (fun i -> i * i))
     squares
 
+let test_parallel_map_joins_on_throwing_init () =
+  (* [init] raising used to leak the spawned domains: the coordinating
+     domain's exception skipped every join (and a join that re-raised
+     abandoned the rest). Every domain calls [init] first, so observing
+     all [cores] increments after the exception proves each domain ran
+     AND was joined before [map] re-raised. *)
+  let cores = 4 in
+  let started = Atomic.make 0 in
+  let raised =
+    try
+      ignore
+        (Milp.Parallel.map ~cores
+           ~init:(fun () ->
+             Atomic.incr started;
+             failwith "init boom")
+           (fun () x -> x)
+           (Array.init 32 Fun.id));
+      false
+    with Failure msg -> msg = "init boom"
+  in
+  Alcotest.(check bool) "init exception propagates" true raised;
+  Alcotest.(check int) "every domain ran init and was joined" cores
+    (Atomic.get started)
+
+let test_parallel_map_joins_on_throwing_f () =
+  (* Same contract when the work function itself throws mid-stream. *)
+  let finished = Atomic.make 0 in
+  let raised =
+    try
+      ignore
+        (Milp.Parallel.map ~cores:3
+           ~init:(fun () -> ())
+           (fun () x ->
+             if x = 5 then failwith "item boom";
+             Atomic.incr finished;
+             x)
+           (Array.init 32 Fun.id));
+      false
+    with Failure msg -> msg = "item boom"
+  in
+  Alcotest.(check bool) "item exception propagates" true raised
+
+(* {2 search-structure regressions} *)
+
+let test_heap_pop_releases_nodes () =
+  (* [Heap.pop] used to leave the popped node's reference in the vacated
+     slot (and [push]'s growth used to fill spare capacity with a live
+     node), retaining fix chains long after the pool logically shrank.
+     Push distinct fix chains tracked through weak pointers, drain the
+     heap, and demand the chains become collectable. *)
+  let h = Milp.Search.Heap.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  let fill () =
+    for i = 0 to n - 1 do
+      let fixes = [ (i, 0.0, float_of_int i) ] in
+      Weak.set weak i (Some fixes);
+      Milp.Search.Heap.push h
+        {
+          Milp.Search.fixes;
+          parent_bound = float_of_int (i mod 7);
+          depth = 1;
+          parent_basis = None;
+        }
+    done
+  in
+  (Sys.opaque_identity fill) ();
+  Alcotest.(check int) "all pushed" n (Milp.Search.Heap.size h);
+  let rec drain () =
+    match Milp.Search.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "heap empty" 0 (Milp.Search.Heap.size h);
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "drained nodes are collectable" 0 !live
+
+let test_pool_depth_first_donates_bottom () =
+  let donated = ref [] in
+  let pool =
+    Milp.Search.Pool.depth_first ~max_open:2
+      ~donate:(fun n -> donated := n.Milp.Search.parent_bound :: !donated)
+      ()
+  in
+  let node b =
+    { Milp.Search.fixes = []; parent_bound = b; depth = 1; parent_basis = None }
+  in
+  List.iter (fun b -> Milp.Search.Pool.push pool (node b)) [ 5.0; 4.0; 3.0; 2.0 ];
+  (* Bounded at 2: pushing 3.0 evicts the bottom (5.0), pushing 2.0
+     evicts the new bottom (4.0). *)
+  Alcotest.(check (list (float 0.0))) "shallowest donated first" [ 4.0; 5.0 ]
+    !donated;
+  Alcotest.(check int) "kept the two deepest" 2 (Milp.Search.Pool.size pool);
+  (match Milp.Search.Pool.pop pool with
+   | Some top ->
+       Alcotest.(check (float 0.0)) "LIFO top" 2.0 top.Milp.Search.parent_bound
+   | None -> Alcotest.fail "pool should not be empty");
+  Alcotest.(check int) "drain returns the rest" 1
+    (List.length (Milp.Search.Pool.drain pool));
+  Alcotest.(check int) "empty after drain" 0 (Milp.Search.Pool.size pool)
+
+(* Reference implementation of the list-based [Pseudo_first] scan the
+   solver shipped before the in-place rewrite, for agreement checking. *)
+let reference_pseudo_first order ints int_eps x =
+  let fractional =
+    List.filter (fun v -> Milp.Search.fractionality x.(v) > int_eps) ints
+  in
+  match fractional with
+  | [] -> None
+  | first :: _ -> (
+      match
+        Array.to_list order
+        |> List.filter (fun v -> Milp.Search.fractionality x.(v) > int_eps)
+      with
+      | v :: _ -> Some v
+      | [] -> Some first)
+
+let gen_pseudo_case =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* raw = array_size (return n) (float_range 0.0 3.0) in
+    let* snap = array_size (return n) bool in
+    let x = Array.mapi (fun i v -> if snap.(i) then Float.round v else v) raw in
+    let* order = array_size (int_range 0 (2 * n)) (int_range 0 (n - 1)) in
+    return (x, order))
+
+let prop_pseudo_first_matches_reference =
+  QCheck.Test.make ~name:"Pseudo_first scan matches list reference" ~count:200
+    (QCheck.make gen_pseudo_case) (fun (x, order) ->
+      let ints = List.init (Array.length x) Fun.id in
+      let int_eps = 1e-6 in
+      Milp.Search.select_branch_var (Milp.Solver.Pseudo_first order) ints
+        int_eps x
+      = reference_pseudo_first order ints int_eps x)
+
+(* {2 environment parsing} *)
+
+let test_cores_of_string () =
+  let check s expect =
+    Alcotest.(check (option int)) s expect (Milp.Parallel.cores_of_string s)
+  in
+  check "4" (Some 4);
+  check " 2 " (Some 2);
+  check "0" None;
+  check "-3" None;
+  check "four" None;
+  check "" None
+
+let test_cores_of_env_rejects_garbage () =
+  (* Malformed DEPNN_CORES used to be silently coerced to 1; it still
+     falls back to 1 but must take the warning path, and well-formed
+     values must keep parsing. *)
+  Unix.putenv "DEPNN_CORES" "four";
+  Alcotest.(check int) "garbage falls back to 1" 1 (Milp.Parallel.cores_of_env ());
+  Unix.putenv "DEPNN_CORES" "3";
+  Alcotest.(check int) "well-formed parses" 3 (Milp.Parallel.cores_of_env ());
+  Unix.putenv "DEPNN_CORES" "0";
+  Alcotest.(check int) "non-positive rejected" 1 (Milp.Parallel.cores_of_env ());
+  Unix.putenv "DEPNN_CORES" ""
+
+let test_portfolio_of_string () =
+  let check s expect =
+    Alcotest.(check (option (pair int int)))
+      s expect
+      (Milp.Parallel.portfolio_of_string s)
+  in
+  check "1:3" (Some (1, 3));
+  check "0:2" (Some (0, 2));
+  check "2:0" (Some (2, 0));
+  check " 1 : 2 " (Some (1, 2));
+  check "0:0" None;
+  check "-1:2" None;
+  check "3" None;
+  check "a:b" None;
+  check "" None
+
+(* {2 portfolio search} *)
+
+let test_portfolio_knapsack_all_splits () =
+  let m = knapsack_model () in
+  List.iter
+    (fun (d, p) ->
+      let r = Milp.Parallel.solve ~portfolio:(d, p) m in
+      check_outcome Milp.Solver.Optimal r;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "optimum under %d:%d" d p)
+        21.0 (incumbent_value r))
+    [ (1, 0); (0, 1); (1, 1); (2, 1); (1, 2); (0, 3) ]
+
+let test_portfolio_rejects_empty_split () =
+  List.iter
+    (fun split ->
+      Alcotest.(check bool)
+        "invalid split rejected" true
+        (try
+           ignore (Milp.Parallel.solve ~portfolio:split (knapsack_model ()));
+           false
+         with Invalid_argument _ -> true))
+    [ (0, 0); (-1, 2); (2, -1) ]
+
+let test_first_incumbent_reported () =
+  let r = Milp.Solver.solve (knapsack_model ()) in
+  (match r.Milp.Solver.first_incumbent_nodes with
+   | Some n ->
+       Alcotest.(check bool) "first incumbent within the run" true
+         (n >= 0 && n <= r.Milp.Solver.nodes)
+   | None -> Alcotest.fail "optimal solve must report a first incumbent");
+  Alcotest.(check bool) "elapsed stamp present" true
+    (r.Milp.Solver.first_incumbent_elapsed <> None);
+  (* A cutoff above the optimum leaves no incumbent and no stamp. *)
+  let m = Milp.Model.create () in
+  let x = Milp.Model.add_binary m () in
+  Milp.Model.set_objective m [ (x, 5.0) ];
+  let pruned = Milp.Solver.solve ~cutoff:6.0 m in
+  Alcotest.(check bool) "no incumbent, no stamp" true
+    (pruned.Milp.Solver.first_incumbent_nodes = None
+    && pruned.Milp.Solver.first_incumbent_elapsed = None)
+
+let test_portfolio_degrades_on_worker_death () =
+  (* The degradation contract must survive the portfolio split: a diver
+     killed mid-evaluation flushes its private stack back to the shared
+     heap, the surviving prover re-evaluates, and the exact optimum
+     still comes out — flagged via [failed_workers]. *)
+  let m = degraded_knapsack () in
+  let armed = Atomic.make true in
+  let heuristic _ =
+    if Atomic.exchange armed false then failwith "injected diver fault"
+    else None
+  in
+  let r =
+    Milp.Parallel.solve ~portfolio:(1, 1) ~primal_heuristic:heuristic m
+  in
+  check_outcome Milp.Solver.Optimal r;
+  Alcotest.(check (float 1e-6)) "optimum survives" 21.0 (incumbent_value r);
+  Alcotest.(check int) "one worker lost" 1 r.Milp.Solver.failed_workers
+
+let test_portfolio_reraises_when_all_workers_die () =
+  let m = degraded_knapsack () in
+  let heuristic _ = failwith "poison" in
+  Alcotest.(check bool) "exception propagates" true
+    (try
+       ignore
+         (Milp.Parallel.solve ~portfolio:(1, 1) ~primal_heuristic:heuristic m);
+       false
+     with Failure msg -> msg = "poison")
+
+(* Strict acceptance on the NN smoke model: a single diver must reach
+   its first incumbent in no more nodes than a single best-first prover.
+   Single-worker configurations keep both node counts deterministic. *)
+let test_portfolio_dives_to_first_incumbent_faster () =
+  let rng = Linalg.Rng.create 21 in
+  let net =
+    Nn.Network.create ~rng [ 6; 10; 10; Nn.Gmm.output_dim ~components:2 ]
+  in
+  let box = Array.make 6 (Interval.make (-0.25) 0.25) in
+  let enc = Encoding.Encoder.encode net box in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  let solve portfolio =
+    Milp.Parallel.solve ~portfolio
+      ~branch_rule:(Milp.Solver.Priority priority)
+      ~objective:
+        (Encoding.Encoder.output_objective enc
+           (Nn.Gmm.mu_lat_index ~components:2 1))
+      enc.Encoding.Encoder.model
+  in
+  let diver = solve (1, 0) in
+  let prover = solve (0, 1) in
+  check_outcome Milp.Solver.Optimal diver;
+  check_outcome Milp.Solver.Optimal prover;
+  Alcotest.(check (float 1e-5)) "same maximum" (incumbent_value prover)
+    (incumbent_value diver);
+  match
+    ( diver.Milp.Solver.first_incumbent_nodes,
+      prover.Milp.Solver.first_incumbent_nodes )
+  with
+  | Some d, Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "diver first incumbent (%d nodes) <= best-first (%d)" d
+           p)
+        true (d <= p)
+  | _ -> Alcotest.fail "both configurations must find an incumbent"
+
 let test_warm_matches_cold () =
   (* Warm-started B&B must agree with cold B&B on outcome, incumbent and
      bound — and spend strictly fewer LP iterations (the whole point of
@@ -477,6 +762,31 @@ let prop_parallel_matches_sequential =
       in
       List.for_all agrees [ 1; 2; 4 ])
 
+let prop_portfolio_matches_sequential =
+  QCheck.Test.make ~name:"portfolio matches sequential" ~count:25
+    (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
+      let m = Milp.Model.create () in
+      let xs = List.map (fun _ -> Milp.Model.add_binary m ()) values in
+      Milp.Model.add_le m (List.map2 (fun x w -> (x, w)) xs weights) capacity;
+      let y = Milp.Model.add_continuous m ~lo:0.0 ~hi:1.0 () in
+      Milp.Model.add_le m [ (y, 1.0); (List.hd xs, 1.0) ] 1.4;
+      Milp.Model.set_objective m
+        ((y, 0.7) :: List.map2 (fun x v -> (x, v)) xs values);
+      let seq = Milp.Solver.solve m in
+      let eps = 1e-6 in
+      let close a b = a = b || Float.abs (a -. b) < eps in
+      let agrees split =
+        let par = Milp.Parallel.solve ~portfolio:split m in
+        outcome_name par.Milp.Solver.outcome
+        = outcome_name seq.Milp.Solver.outcome
+        && (match (seq.Milp.Solver.incumbent, par.Milp.Solver.incumbent) with
+           | Some (_, a), Some (_, b) -> close a b
+           | None, None -> true
+           | _ -> false)
+        && close par.Milp.Solver.best_bound seq.Milp.Solver.best_bound
+      in
+      List.for_all agrees [ (1, 0); (0, 1); (1, 1); (2, 2) ])
+
 let prop_warm_matches_cold =
   QCheck.Test.make ~name:"warm B&B matches cold B&B" ~count:40
     (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
@@ -523,8 +833,20 @@ let () =
           quick "node bound sees fixes" test_node_bound_sees_fixes;
           quick "node bound empty subtree" test_node_bound_empty_subtree_prunes;
           quick "node bound min sense" test_node_bound_solve_min_sense;
+          quick "first incumbent reported" test_first_incumbent_reported;
         ] );
       ("model", [ quick "bookkeeping" test_model_bookkeeping ]);
+      ( "search",
+        [
+          quick "heap pop releases nodes" test_heap_pop_releases_nodes;
+          quick "pool donates bottom" test_pool_depth_first_donates_bottom;
+        ] );
+      ( "env",
+        [
+          quick "cores_of_string" test_cores_of_string;
+          quick "cores_of_env rejects garbage" test_cores_of_env_rejects_garbage;
+          quick "portfolio_of_string" test_portfolio_of_string;
+        ] );
       ( "parallel",
         [
           quick "knapsack on 1/2/4 cores" test_parallel_knapsack;
@@ -534,15 +856,28 @@ let () =
           quick "solve_min leaves objective" test_solve_min_objective_untouched;
           quick "open bound stack = heap" test_open_bound_stack_matches_heap;
           quick "map order + state" test_parallel_map_order_and_state;
+          quick "map joins on throwing init" test_parallel_map_joins_on_throwing_init;
+          quick "map joins on throwing f" test_parallel_map_joins_on_throwing_f;
           quick "degrades on worker death" test_parallel_degrades_on_worker_death;
           quick "re-raises when all die" test_parallel_reraises_when_all_workers_die;
           quick "sequential never degraded" test_sequential_reports_no_failed_workers;
+        ] );
+      ( "portfolio",
+        [
+          quick "knapsack on all splits" test_portfolio_knapsack_all_splits;
+          quick "rejects empty split" test_portfolio_rejects_empty_split;
+          quick "degrades on worker death" test_portfolio_degrades_on_worker_death;
+          quick "re-raises when all die" test_portfolio_reraises_when_all_workers_die;
+          quick "diver reaches first incumbent no later"
+            test_portfolio_dives_to_first_incumbent_faster;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_knapsack_matches_brute_force;
             prop_parallel_matches_sequential;
+            prop_portfolio_matches_sequential;
+            prop_pseudo_first_matches_reference;
             prop_warm_matches_cold;
           ] );
     ]
