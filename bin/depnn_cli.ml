@@ -72,6 +72,34 @@ let portfolio_arg =
 
 let components = 3
 
+(* {1 LP core} *)
+
+let lp_core_conv =
+  let parse s =
+    match Lp.Simplex.core_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "expected 'sparse' or 'dense'")
+  in
+  let print ppf c = Format.pp_print_string ppf (Lp.Simplex.core_to_string c) in
+  Arg.conv (parse, print)
+
+let lp_core_arg =
+  Arg.(
+    value
+    & opt (some lp_core_conv) None
+    & info [ "lp-core" ] ~docv:"CORE"
+        ~env:(Cmd.Env.info "DEPNN_LP_CORE")
+        ~doc:
+          "LP engine behind every relaxation solve: $(b,sparse) (revised \
+           simplex on a factored basis — the default) or $(b,dense) \
+           (Gauss-Jordan tableau, the reference oracle). The sparse core \
+           falls back to dense on any numerical doubt, so results are \
+           identical; only wall-clock differs.")
+
+(* Make the choice global before any solve runs, so OBBT probes, node
+   re-solves and envelope proofs all use the same engine. *)
+let apply_lp_core = Option.iter Lp.Simplex.set_default_core
+
 (* {1 bound modes} *)
 
 let bound_mode_name = function
@@ -197,14 +225,17 @@ let net_arg =
     & pos 0 (some file) None
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
-let verify net_path threshold time_limit slack cores portfolio bound_mode =
+let verify net_path threshold time_limit slack cores portfolio bound_mode
+    lp_core =
+  apply_lp_core lp_core;
   let net = Nn.Io.load net_path in
-  Printf.printf "verifying %s (%s, %s bounds)\n"
+  Printf.printf "verifying %s (%s, %s bounds, %s lp core)\n"
     (Nn.Network.describe net)
     (match portfolio with
      | Some (d, p) -> Printf.sprintf "portfolio %d diver:%d prover" d p
      | None -> Printf.sprintf "%d core%s" cores (if cores = 1 then "" else "s"))
-    (bound_mode_name bound_mode);
+    (bound_mode_name bound_mode)
+    (Lp.Simplex.core_to_string (Lp.Simplex.default_core ()));
   let box = Verify.Scenario.vehicle_on_left ~slack () in
   (* Pre-OBBT stability under both analyses, so the binary-count
      reduction bought by the symbolic mode is visible at a glance. *)
@@ -240,6 +271,13 @@ let verify net_path threshold time_limit slack cores portfolio bound_mode =
     (bound_mode_name bound_mode) st.Encoding.Encoder.stable_active
     st.Encoding.Encoder.stable_inactive st.Encoding.Encoder.unstable
     r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+  Printf.printf "lp: %d rows x %d cols, %d nnz (density %.4f)\n"
+    st.Encoding.Encoder.rows st.Encoding.Encoder.cols st.Encoding.Encoder.nnz
+    st.Encoding.Encoder.density;
+  let fb = Lp.Simplex.sparse_fallbacks () in
+  if fb > 0 then
+    Printf.printf "lp: %d sparse solve%s fell back to the dense oracle\n" fb
+      (if fb = 1 then "" else "s");
   Printf.printf "per-component solve time:%s\n"
     (String.concat ""
        (Array.to_list
@@ -289,7 +327,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
     Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg
-          $ portfolio_arg $ bound_mode_arg)
+          $ portfolio_arg $ bound_mode_arg $ lp_core_arg)
 
 (* {1 trace} *)
 

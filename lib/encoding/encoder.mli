@@ -30,6 +30,15 @@ type stats = {
   stable_active : int;
   stable_inactive : int;
   unstable : int;  (** = number of binaries *)
+  rows : int;      (** constraint rows of the emitted LP *)
+  cols : int;      (** variables of the emitted LP *)
+  nnz : int;       (** structural non-zeros across those rows *)
+  density : float;
+      (** [nnz / (rows · cols)] — each big-M row touches only one
+          neuron's fan-in, so this collapses as networks widen; it is
+          the figure the sparse LP core ({!Lp.Simplex.core}) exploits,
+          reported here so bench claims are auditable from
+          [depnn_cli verify] output *)
 }
 
 type obbt_stats = {
@@ -59,6 +68,7 @@ val encode :
   ?tighten_rounds:int ->
   ?tighten_budget:float ->
   ?cores:int ->
+  ?lp_core:Lp.Simplex.core ->
   Nn.Network.t ->
   Interval.Box.box ->
   t
@@ -76,7 +86,8 @@ val encode :
     tightening (neurons are refined in layer order, so the budget is
     spent where it matters most); default unlimited. [cores] (default 1)
     fans the independent OBBT probes across that many domains, each
-    probing a private LP copy. *)
+    probing a private LP copy. [lp_core] selects the LP engine for the
+    OBBT probes (default {!Lp.Simplex.default_core}). *)
 
 val output_objective : t -> int -> (Milp.Model.var * float) list
 (** [output_objective enc k] is the objective maximising output

@@ -125,6 +125,15 @@ let objective_coeff t v =
 let num_vars t = t.nvars
 let num_constraints t = t.nrows
 
+let nnz t =
+  List.fold_left
+    (fun acc (r : row) -> acc + Array.length r.terms)
+    0 t.rows_rev
+
+let density t =
+  let cells = t.nrows * t.nvars in
+  if cells = 0 then 0.0 else float_of_int (nnz t) /. float_of_int cells
+
 let var_name t v =
   check_var t v;
   t.names.(v)

@@ -48,6 +48,15 @@ val set_objective : t -> (var * float) list -> unit
 val objective_coeff : t -> var -> float
 val num_vars : t -> int
 val num_constraints : t -> int
+
+val nnz : t -> int
+(** Structural non-zeros across all constraint rows (as written; exact
+    zeros passed to {!add_constraint} are already merged away). *)
+
+val density : t -> float
+(** [nnz / (rows · cols)], or [0.] for an empty problem — the sparsity
+    figure the revised simplex ({!Simplex.core} = [Sparse]) exploits. *)
+
 val var_name : t -> var -> string
 
 val copy : t -> t

@@ -34,13 +34,48 @@ type basis = {
   bnstruct : int;      (** structural variables of that problem *)
   bbasic : int array;  (** basic column per row (structural or slack) *)
   bupper : bool array; (** per real column: parked at its upper bound? *)
+  bfactor : Sparse.factor option;
+      (** factored basis (LU + eta file) when the snapshot came from
+          the sparse core; advisory — {!resolve} probes it against the
+          current problem and refactorizes on any mismatch *)
 }
-(** Compact snapshot of an optimal basis. Pure data — the arrays are
-    immutable by contract, so snapshots can be shared freely across
-    domains (the parallel MILP solver migrates them with stolen nodes).
-    A snapshot is only meaningful for the problem shape it was taken
-    from (same rows in the same order, same variable count); {!resolve}
-    validates this and falls back to a cold solve on any mismatch. *)
+(** Compact snapshot of an optimal basis. Pure data — the arrays and
+    the factor are immutable by contract, so snapshots can be shared
+    freely across domains (the parallel MILP solver migrates them with
+    stolen nodes). A snapshot is only meaningful for the problem shape
+    it was taken from (same rows in the same order, same variable
+    count); {!resolve} validates this and falls back to a cold solve on
+    any mismatch. *)
+
+type core = Dense | Sparse
+(** Which LP engine runs a query. [Dense]: the original Gauss-Jordan
+    tableau. [Sparse]: the revised simplex on factored sparse columns —
+    asymptotically cheaper (O(nnz) per pivot instead of O(rows·cols))
+    and the default; on any numerical doubt it transparently re-runs
+    the dense oracle, and it never reports [Infeasible] without dense
+    confirmation. *)
+
+val core_of_string : string -> core option
+(** Parses ["dense"] / ["sparse"] (case-insensitive). *)
+
+val core_to_string : core -> string
+
+val default_core : unit -> core
+(** The core used when a solve is not given [?core] explicitly:
+    {!set_default_core}'s value if called, else the [DEPNN_LP_CORE]
+    environment variable (["sparse"]/["dense"], read once at startup),
+    else [Sparse]. *)
+
+val set_default_core : core -> unit
+(** Process-wide override (the CLI's [--lp-core] lands here). *)
+
+val sparse_fallbacks : unit -> int
+(** How many times the sparse core handed a conclusion back to the
+    dense oracle since startup (observability for tests/bench). *)
+
+val refactor_interval : int ref
+(** Eta-file length that triggers a refactorization of the sparse
+    basis (default 64). Exposed for tests; leave alone otherwise. *)
 
 type solution = {
   status : status;
@@ -55,13 +90,16 @@ type solution = {
           (no fallback to a cold solve was needed) *)
 }
 
-val solve : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
+val solve :
+  ?max_iterations:int -> ?eps:float -> ?core:core -> Problem.t -> solution
 (** Maximise the problem's objective from a cold start. [eps] is the
     feasibility/optimality tolerance (default [1e-7]).
-    [max_iterations] defaults to [500 * (rows + cols)]. *)
+    [max_iterations] defaults to [500 * (rows + cols)]. [core] defaults
+    to {!default_core}. *)
 
 val resolve :
-  ?max_iterations:int -> ?eps:float -> basis:basis -> Problem.t -> solution
+  ?max_iterations:int -> ?eps:float -> ?core:core -> basis:basis ->
+  Problem.t -> solution
 (** Maximise like {!solve}, but warm-start from [basis] (typically the
     parent node's optimal basis under slightly different bounds). The
     restored basis is driven primal-feasible by the dual simplex, then
@@ -69,9 +107,12 @@ val resolve :
     warm path: a stale/corrupted snapshot, a singular restored basis,
     a dual-simplex infeasibility certificate, an iteration limit, or
     numerical trouble all transparently fall back to a cold {!solve}
-    (the returned [warm] flag tells which path produced the answer). *)
+    (the returned [warm] flag tells which path produced the answer).
+    Under the sparse core the same contract extends one layer down:
+    sparse doubt falls back to the dense engine. *)
 
-val solve_min : ?max_iterations:int -> ?eps:float -> Problem.t -> solution
+val solve_min :
+  ?max_iterations:int -> ?eps:float -> ?core:core -> Problem.t -> solution
 (** Minimise instead; [objective] is reported in the minimisation sense. *)
 
 val primal_feasible : ?eps:float -> Problem.t -> float array -> bool

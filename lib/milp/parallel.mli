@@ -90,6 +90,7 @@ val solve :
   ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
   Model.t ->
   Solver.result
 (** Maximise the model objective. [portfolio = (divers, provers)] fixes
@@ -103,7 +104,9 @@ val solve :
     portfolio split. [objective] lands on every domain's private LP
     copy, so concurrent queries over one shared encoding are safe;
     [warm] (default [true]) warm-starts each node from its parent's
-    basis — snapshots are immutable, so stolen nodes warm-start safely
+    basis — snapshots (including the sparse core's factored basis +
+    eta file, see [lp_core] in {!Solver.solve}) are immutable, so
+    stolen nodes warm-start safely
     on any domain. [node_bound], like [primal_heuristic], is invoked
     concurrently from worker domains and must be thread-safe (the
     encoder's symbolic re-propagation only reads the network and
@@ -123,6 +126,7 @@ val solve_min :
   ?node_bound:((Model.var * float * float) list -> float option) ->
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
   Model.t ->
   Solver.result
 (** Minimise, like {!Solver.solve_min} (operates on a private copy of

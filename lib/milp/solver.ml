@@ -20,7 +20,7 @@ type branch_rule = Search.branch_rule =
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
     ?(cutoff = neg_infinity) ?primal_heuristic ?node_bound ?objective
-    ?(warm = true) model =
+    ?(warm = true) ?lp_core model =
   let base = Model.lp model in
   let ints = Model.integer_vars model in
   let start = Unix.gettimeofday () in
@@ -111,8 +111,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
             Search.with_node_bounds problem node (fun () ->
                 let relax =
                   match (if warm then node.Search.parent_basis else None) with
-                  | Some b -> Lp.Simplex.resolve ~basis:b problem
-                  | None -> Lp.Simplex.solve problem
+                  | Some b -> Lp.Simplex.resolve ?core:lp_core ~basis:b problem
+                  | None -> Lp.Simplex.solve ?core:lp_core problem
                 in
                 lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
                 match relax.Lp.Simplex.status with
@@ -161,7 +161,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
   loop ()
 
 let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
-    ?cutoff ?primal_heuristic ?node_bound ?objective ?warm model =
+    ?cutoff ?primal_heuristic ?node_bound ?objective ?warm ?lp_core model =
   (* Negate the objective on a private copy of the model, maximise, then
      report back in min sense. The caller's model is never touched, so
      concurrent solves over the same model are safe and an exception
@@ -192,7 +192,7 @@ let solve_min ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
     solve ?time_limit ?node_limit ?eps ?int_eps ?branch_rule ?depth_first
       ?cutoff:(Option.map (fun c -> -.c) cutoff)
       ?primal_heuristic:neg_heuristic ?node_bound:neg_node_bound
-      ?objective:neg_objective ?warm minned
+      ?objective:neg_objective ?warm ?lp_core minned
   in
   {
     r with

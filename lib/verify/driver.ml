@@ -59,13 +59,13 @@ let node_bound_for ~bound_mode enc net box ~output =
    more than one node's slack. *)
 let maximize_outputs ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ?(depth_first = false) ?(cores = 1) ?portfolio ?(warm = true)
+    ?(depth_first = false) ?(cores = 1) ?portfolio ?(warm = true) ?lp_core
     ~outputs:output_indices net box =
   let started = Unix.gettimeofday () in
   let deadline = started +. time_limit in
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
-      ~tighten_budget:(0.5 *. time_limit) ~cores net box
+      ~tighten_budget:(0.5 *. time_limit) ~cores ?lp_core net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
   let queries = Array.of_list output_indices in
@@ -83,7 +83,7 @@ let maximize_outputs ?(time_limit = 60.0)
       ~primal_heuristic
       ?node_bound:(node_bound_for ~bound_mode enc net box ~output:k)
       ~objective:(Encoding.Encoder.output_objective enc k)
-      ~warm enc.Encoding.Encoder.model
+      ~warm ?lp_core enc.Encoding.Encoder.model
   in
   let results =
     if cores > 1 && n_queries > 1 && portfolio = None then begin
@@ -171,17 +171,17 @@ let maximize_outputs ?(time_limit = 60.0)
   }
 
 let max_lateral_velocity ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ?cores ?portfolio ?warm ~components net box =
+    ?cores ?portfolio ?warm ?lp_core ~components net box =
   let outputs =
     List.init components (fun k -> Nn.Gmm.mu_lat_index ~components k)
   in
   maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
-    ?portfolio ?warm ~outputs net box
+    ?portfolio ?warm ?lp_core ~outputs net box
 
 let maximize_output ?time_limit ?bound_mode ?tighten_rounds ?depth_first
-    ?cores ?portfolio ?warm ~output net box =
+    ?cores ?portfolio ?warm ?lp_core ~output net box =
   maximize_outputs ?time_limit ?bound_mode ?tighten_rounds ?depth_first ?cores
-    ?portfolio ?warm ~outputs:[ output ] net box
+    ?portfolio ?warm ?lp_core ~outputs:[ output ] net box
 
 type proof = Proved | Disproved of witness | Unknown of { best_bound : float }
 
@@ -194,14 +194,15 @@ type proof_result = {
 
 let prove_lateral_velocity_le ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ?(cores = 1) ?portfolio ?(warm = true) ~components ~threshold net box =
+    ?(cores = 1) ?portfolio ?(warm = true) ?lp_core ~components ~threshold net
+    box =
   (* Same budget contract as [maximize_outputs]: OBBT spends from the
      global limit, the remainder is re-split before each query. *)
   let started = Unix.gettimeofday () in
   let deadline = started +. time_limit in
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
-      ~tighten_budget:(0.5 *. time_limit) ~cores net box
+      ~tighten_budget:(0.5 *. time_limit) ~cores ?lp_core net box
   in
   let priority = Encoding.Encoder.layer_order_priority enc in
   let nodes = ref 0 in
@@ -239,7 +240,7 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
             ~cutoff:threshold ~branch_rule:(Milp.Solver.Priority priority)
             ?node_bound:(node_bound_for ~bound_mode enc net box ~output)
             ~objective:(Encoding.Encoder.output_objective enc output)
-            ~warm enc.Encoding.Encoder.model
+            ~warm ?lp_core enc.Encoding.Encoder.model
         in
         nodes := !nodes + r.Milp.Solver.nodes;
         (match r.Milp.Solver.incumbent with

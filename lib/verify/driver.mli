@@ -46,6 +46,7 @@ val max_lateral_velocity :
   ?cores:int ->
   ?portfolio:int * int ->
   ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
   components:int ->
   Nn.Network.t ->
   Interval.Box.box ->
@@ -65,7 +66,9 @@ val max_lateral_velocity :
     OBBT probes on that many domains ({!Milp.Parallel}); results agree
     with [cores = 1] up to solver epsilon. [warm] (default [true])
     warm-starts child nodes from parent bases; pass [false] for
-    cold-solve ablations.
+    cold-solve ablations. [lp_core] selects the LP engine for OBBT and
+    every node re-solve ({!Lp.Simplex.core}; default
+    {!Lp.Simplex.default_core}, i.e. sparse unless overridden).
 
     [bound_mode] selects the encoder's bound analysis
     ({!Encoding.Encoder.bound_mode}). Under [Symbolic_bounds] the
@@ -91,6 +94,7 @@ val maximize_output :
   ?cores:int ->
   ?portfolio:int * int ->
   ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
   output:int ->
   Nn.Network.t ->
   Interval.Box.box ->
@@ -121,6 +125,7 @@ val prove_lateral_velocity_le :
   ?cores:int ->
   ?portfolio:int * int ->
   ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
   components:int ->
   threshold:float ->
   Nn.Network.t ->

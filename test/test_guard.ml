@@ -113,7 +113,8 @@ let max_result ~upper_bound : Verify.Driver.max_result =
     lp_iterations = 0;
     unstable_neurons = 0;
     encoder_stats =
-      { Encoding.Encoder.stable_active = 0; stable_inactive = 0; unstable = 0 };
+      { Encoding.Encoder.stable_active = 0; stable_inactive = 0; unstable = 0;
+        rows = 0; cols = 0; nnz = 0; density = 0.0 };
     obbt =
       { Encoding.Encoder.probes = 0; refined = 0; failed = 0;
         skipped_budget = 0 };

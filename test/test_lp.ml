@@ -345,13 +345,13 @@ let test_resolve_corrupted_basis_falls_back () =
     [
       (* wrong dimensions entirely *)
       { Lp.Simplex.bm = 7; bnstruct = 3; bbasic = [| 0; 1; 2; 3; 4; 5; 6 |];
-        bupper = Array.make 10 false };
+        bupper = Array.make 10 false; bfactor = None };
       (* right shape, out-of-range basic column *)
       { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 99 |];
-        bupper = Array.make 4 false };
+        bupper = Array.make 4 false; bfactor = None };
       (* right shape, singular basis (zero column claimed basic) *)
       { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 2 |];
-        bupper = Array.make 4 false };
+        bupper = Array.make 4 false; bfactor = None };
     ]
   in
   List.iter
@@ -433,6 +433,263 @@ let prop_min_is_neg_max =
           < 1e-5
       | a, b -> a = b)
 
+(* {2 Sparse core}
+
+   The revised simplex on a factored basis is the default LP engine; the
+   dense tableau stays compiled in as its oracle. These tests pin the
+   {!Lp.Sparse} primitives and the equivalence / fallback contract the
+   dispatcher promises. *)
+
+let sparse = Lp.Simplex.Sparse
+let dense = Lp.Simplex.Dense
+
+(* Columns [0;1;2] form
+       | 2 0 1 |
+   B = | 1 3 0 |
+       | 0 0 4 |  *)
+let small_mat () =
+  Lp.Sparse.of_columns ~rows:3
+    [|
+      [| (0, 2.0); (1, 1.0) |];
+      [| (1, 3.0) |];
+      [| (0, 1.0); (2, 4.0) |];
+    |]
+
+let test_sparse_ftran_btran () =
+  let a = small_mat () in
+  Alcotest.(check int) "rows" 3 (Lp.Sparse.rows a);
+  Alcotest.(check int) "cols" 3 (Lp.Sparse.cols a);
+  Alcotest.(check int) "nnz" 5 (Lp.Sparse.nnz a);
+  let basic = [| 0; 1; 2 |] in
+  let f =
+    match Lp.Sparse.factorize a basic with
+    | Some f -> f
+    | None -> Alcotest.fail "non-singular basis must factorize"
+  in
+  Alcotest.(check int) "dim" 3 (Lp.Sparse.dim f);
+  Alcotest.(check int) "fresh factor has no etas" 0 (Lp.Sparse.eta_count f);
+  (* ftran solves B x = b; with b = (3, 7, 8), x = (1/2, 13/6, 2). *)
+  let b = [| 3.0; 7.0; 8.0 |] in
+  let x = Lp.Sparse.ftran f b in
+  Alcotest.(check (float 1e-9)) "x0" 0.5 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" (13.0 /. 6.0) x.(1);
+  Alcotest.(check (float 1e-9)) "x2" 2.0 x.(2);
+  Alcotest.(check (float 1e-9)) "residual" 0.0
+    (Lp.Sparse.basis_residual a basic ~x ~b);
+  (* btran solves Bᵀ y = c; checked through col_dot, which is how the
+     simplex consumes it: A_{basic(k)} · y must reproduce c.(k). *)
+  let c = [| 1.0; -2.0; 0.5 |] in
+  let y = Lp.Sparse.btran f c in
+  Array.iteri
+    (fun k j ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "col_dot basic(%d)" k)
+        c.(k)
+        (Lp.Sparse.col_dot a j y))
+    basic
+
+let test_sparse_update_matches_refactorize () =
+  let a =
+    Lp.Sparse.of_columns ~rows:3
+      [|
+        [| (0, 2.0); (1, 1.0) |];
+        [| (1, 3.0) |];
+        [| (0, 1.0); (2, 4.0) |];
+        [| (0, 1.0); (1, -1.0); (2, 2.0) |];
+      |]
+  in
+  let f = Option.get (Lp.Sparse.factorize a [| 0; 1; 2 |]) in
+  (* Bring column 3 into basis position 1 via a product-form eta... *)
+  let alpha = Lp.Sparse.ftran f (Lp.Sparse.col_to_dense a 3) in
+  let f' =
+    match Lp.Sparse.update f ~pos:1 ~alpha with
+    | Some f' -> f'
+    | None -> Alcotest.fail "well-conditioned update must succeed"
+  in
+  Alcotest.(check int) "one eta appended" 1 (Lp.Sparse.eta_count f');
+  Alcotest.(check int) "original factor untouched" 0 (Lp.Sparse.eta_count f);
+  (* ...and compare every solve direction against refactorizing the new
+     basis from scratch: the eta file must be transparent. *)
+  let g = Option.get (Lp.Sparse.factorize a [| 0; 3; 2 |]) in
+  let b = [| 1.0; -2.0; 3.0 |] in
+  let xu = Lp.Sparse.ftran f' b and xr = Lp.Sparse.ftran g b in
+  Array.iteri
+    (fun k v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "ftran pos %d" k) v xu.(k))
+    xr;
+  let c = [| 0.5; 1.0; -1.0 |] in
+  let yu = Lp.Sparse.btran f' c and yr = Lp.Sparse.btran g c in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "btran row %d" i) v yu.(i))
+    yr
+
+let test_sparse_singular_is_refused () =
+  let a =
+    Lp.Sparse.of_columns ~rows:2 [| [| (0, 1.0) |]; [| (0, 2.0) |]; [||] |]
+  in
+  (* Columns 0 and 1 both live in row 0; column 2 is empty. *)
+  Alcotest.(check bool) "dependent columns" true
+    (Option.is_none (Lp.Sparse.factorize a [| 0; 1 |]));
+  Alcotest.(check bool) "zero column" true
+    (Option.is_none (Lp.Sparse.factorize a [| 0; 2 |]));
+  (* A degenerate eta must be refused, not applied: its diagonal is the
+     pivot the product form divides by. *)
+  let b = Lp.Sparse.of_columns ~rows:2 [| [| (0, 1.0) |]; [| (1, 1.0) |] |] in
+  let f = Option.get (Lp.Sparse.factorize b [| 0; 1 |]) in
+  Alcotest.(check bool) "zero eta diagonal refused" true
+    (Option.is_none (Lp.Sparse.update f ~pos:0 ~alpha:[| 0.0; 5.0 |]));
+  Alcotest.(check bool) "non-finite eta refused" true
+    (Option.is_none (Lp.Sparse.update f ~pos:0 ~alpha:[| 1.0; Float.nan |]))
+
+let test_refactor_every_pivot_matches_dense () =
+  (* refactor_interval = 1: every pivot immediately rebuilds the LU, so
+     the eta machinery is maximally exercised against fresh factors.
+     The answer must not move. *)
+  let saved = !Lp.Simplex.refactor_interval in
+  Fun.protect
+    ~finally:(fun () -> Lp.Simplex.refactor_interval := saved)
+    (fun () ->
+      Lp.Simplex.refactor_interval := 1;
+      let p, _ =
+        build_random_lp
+          ( 4,
+            [ 1.0; -2.0; 0.5; 3.0 ],
+            [
+              ([ 1.0; 1.0; 1.0; 1.0 ], 2.0);
+              ([ 1.0; -1.0; 2.0; 0.5 ], 1.0);
+              ([ 0.5; 0.5; -1.0; 1.0 ], 3.0);
+            ] )
+      in
+      let s = Lp.Simplex.solve ~core:sparse p in
+      let d = Lp.Simplex.solve ~core:dense p in
+      check_status d.Lp.Simplex.status s;
+      Alcotest.(check (float 1e-6)) "same objective" d.Lp.Simplex.objective
+        s.Lp.Simplex.objective)
+
+let test_sparse_falls_back_on_numerical_error () =
+  (* A NaN coefficient trips the sparse path's fail-fast; the dispatcher
+     must hand the problem to the dense oracle (and count the handoff) —
+     which then raises the same typed error. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, Float.nan) ] Lp.Problem.Le 1.0;
+  let before = Lp.Simplex.sparse_fallbacks () in
+  Alcotest.(check bool) "still fails fast" true
+    (raises_numerical_error (fun () -> Lp.Simplex.solve ~core:sparse p));
+  Alcotest.(check bool) "fallback counted" true
+    (Lp.Simplex.sparse_fallbacks () > before)
+
+let test_sparse_corrupted_basis_falls_back () =
+  (* Garbage snapshots under the sparse core: degrade to a cold solve
+     that agrees with the dense oracle, never an error. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:3.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:10.0 ~obj:2.0 () in
+  let _z = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:0.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 4.0;
+  let cold = Lp.Simplex.solve ~core:dense p in
+  List.iter
+    (fun basis ->
+      let r = Lp.Simplex.resolve ~core:sparse ~basis p in
+      check_status Lp.Simplex.Optimal r;
+      Alcotest.(check bool) "fell back to cold" false r.Lp.Simplex.warm;
+      Alcotest.(check (float 1e-9)) "same answer as dense cold"
+        cold.Lp.Simplex.objective r.Lp.Simplex.objective)
+    [
+      { Lp.Simplex.bm = 7; bnstruct = 3; bbasic = [| 0; 1; 2; 3; 4; 5; 6 |];
+        bupper = Array.make 10 false; bfactor = None };
+      { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 99 |];
+        bupper = Array.make 4 false; bfactor = None };
+      { Lp.Simplex.bm = 1; bnstruct = 3; bbasic = [| 2 |];
+        bupper = Array.make 4 false; bfactor = None };
+    ]
+
+let test_sparse_stale_factor_probe () =
+  (* A factored snapshot from problem A replayed against a same-shape
+     problem B: the residual probe must reject the stale factor and the
+     result must still match B's dense cold answer. *)
+  let build c =
+    let p = Lp.Problem.create () in
+    let x = Lp.Problem.add_var p ~lo:0.0 ~hi:4.0 ~obj:1.0 () in
+    let y = Lp.Problem.add_var p ~lo:0.0 ~hi:4.0 ~obj:2.0 () in
+    Lp.Problem.add_constraint p [ (x, c); (y, 1.0) ] Lp.Problem.Le 4.0;
+    Lp.Problem.add_constraint p [ (x, 1.0); (y, c) ] Lp.Problem.Le 6.0;
+    p
+  in
+  let other = Lp.Simplex.solve ~core:sparse (build (-1.0)) in
+  let basis = Option.get other.Lp.Simplex.basis in
+  Alcotest.(check bool) "sparse snapshot carries a factor" true
+    (Option.is_some basis.Lp.Simplex.bfactor);
+  let p = build 2.0 in
+  let warm = Lp.Simplex.resolve ~core:sparse ~basis p in
+  let cold = Lp.Simplex.solve ~core:dense p in
+  check_status cold.Lp.Simplex.status warm;
+  Alcotest.(check (float 1e-6)) "matches dense cold"
+    cold.Lp.Simplex.objective warm.Lp.Simplex.objective
+
+let test_problem_nnz_density () =
+  let p = Lp.Problem.create () in
+  Alcotest.(check int) "empty nnz" 0 (Lp.Problem.nnz p);
+  Alcotest.(check (float 0.0)) "empty density" 0.0 (Lp.Problem.density p);
+  let x = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  let y = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  let z = Lp.Problem.add_var p ~lo:0.0 ~hi:1.0 ~obj:1.0 () in
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 2.0) ] Lp.Problem.Le 1.0;
+  Lp.Problem.add_constraint p [ (z, 1.0) ] Lp.Problem.Ge 0.2;
+  (* An exact-zero coefficient is merged away at build time. *)
+  Lp.Problem.add_constraint p [ (x, 1.0); (y, 0.0); (z, -1.0) ]
+    Lp.Problem.Le 0.5;
+  Alcotest.(check int) "nnz" 5 (Lp.Problem.nnz p);
+  Alcotest.(check (float 1e-12)) "density" (5.0 /. 9.0) (Lp.Problem.density p)
+
+(* Equivalence properties: the sparse core must agree with the dense
+   oracle on every random LP, cold and warm — the contract that lets
+   branch & bound run sparse by default. *)
+let prop_sparse_equals_dense_cold =
+  QCheck.Test.make ~name:"sparse core = dense core (cold solve)" ~count:200
+    (QCheck.make gen_lp) (fun spec ->
+      let p, _ = build_random_lp spec in
+      let s = Lp.Simplex.solve ~core:sparse p in
+      let d = Lp.Simplex.solve ~core:dense p in
+      match (s.Lp.Simplex.status, d.Lp.Simplex.status) with
+      | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+          Float.abs (s.Lp.Simplex.objective -. d.Lp.Simplex.objective) < 1e-5
+          && Lp.Simplex.primal_feasible ~eps:1e-5 p s.Lp.Simplex.x
+      | a, b -> a = b)
+
+let prop_sparse_resolve_equals_dense_cold =
+  QCheck.Test.make
+    ~name:"sparse warm resolve = dense cold solve after bound change"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* spec = gen_lp in
+         let* vidx = int_range 0 100 in
+         let* side = bool in
+         let* frac = float_range 0.05 0.95 in
+         return (spec, vidx, side, frac)))
+    (fun (spec, vidx, side, frac) ->
+      let p, nvars = build_random_lp spec in
+      let parent = Lp.Simplex.solve ~core:sparse p in
+      match (parent.Lp.Simplex.status, parent.Lp.Simplex.basis) with
+      | Lp.Simplex.Optimal, Some basis ->
+          let v = vidx mod nvars in
+          let lo, hi = Lp.Problem.bounds p v in
+          let cut = lo +. (frac *. (hi -. lo)) in
+          if side then Lp.Problem.set_bounds p v ~lo ~hi:cut
+          else Lp.Problem.set_bounds p v ~lo:cut ~hi;
+          let warm = Lp.Simplex.resolve ~core:sparse ~basis p in
+          let cold = Lp.Simplex.solve ~core:dense p in
+          (match (warm.Lp.Simplex.status, cold.Lp.Simplex.status) with
+           | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+               Float.abs
+                 (warm.Lp.Simplex.objective -. cold.Lp.Simplex.objective)
+               < 1e-5
+               && Lp.Simplex.primal_feasible ~eps:1e-5 p warm.Lp.Simplex.x
+           | a, b -> a = b)
+      | _ -> true)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "lp"
@@ -462,12 +719,25 @@ let () =
             test_resolve_corrupted_basis_falls_back;
           quick "stale basis falls back" test_resolve_stale_basis_falls_back;
         ] );
+      ( "sparse core",
+        [
+          quick "ftran/btran" test_sparse_ftran_btran;
+          quick "eta update = refactorize" test_sparse_update_matches_refactorize;
+          quick "singular refused" test_sparse_singular_is_refused;
+          quick "refactor every pivot" test_refactor_every_pivot_matches_dense;
+          quick "numerical error falls back"
+            test_sparse_falls_back_on_numerical_error;
+          quick "corrupted basis falls back"
+            test_sparse_corrupted_basis_falls_back;
+          quick "stale factor probe" test_sparse_stale_factor_probe;
+        ] );
       ( "problem",
         [
           quick "validation" test_problem_validation;
           quick "copy independent" test_problem_copy_independent;
           quick "bound journal nested" test_bound_journal_nested;
           quick "bound journal solve" test_bound_journal_protects_solve;
+          quick "nnz and density" test_problem_nnz_density;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -475,5 +745,7 @@ let () =
             prop_random_lp_optimal_dominates;
             prop_min_is_neg_max;
             prop_resolve_equals_cold_after_bound_change;
+            prop_sparse_equals_dense_cold;
+            prop_sparse_resolve_equals_dense_cold;
           ] );
     ]

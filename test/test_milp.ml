@@ -810,6 +810,80 @@ let prop_warm_matches_cold =
          < 1e-6
       && warm.Milp.Solver.lp_iterations <= cold.Milp.Solver.lp_iterations)
 
+(* {2 Sparse vs dense LP core} *)
+
+let prop_sparse_lp_core_matches_dense =
+  (* Whole-B&B equivalence: verdict, incumbent and proven bound must not
+     depend on which LP engine evaluates the nodes. *)
+  QCheck.Test.make ~name:"sparse lp core matches dense (MILP)" ~count:40
+    (QCheck.make gen_knapsack) (fun (values, weights, capacity) ->
+      let m = Milp.Model.create () in
+      let xs = List.map (fun _ -> Milp.Model.add_binary m ()) values in
+      Milp.Model.add_le m (List.map2 (fun x w -> (x, w)) xs weights) capacity;
+      let y = Milp.Model.add_continuous m ~lo:0.0 ~hi:1.0 () in
+      Milp.Model.add_le m [ (y, 1.0); (List.hd xs, 1.0) ] 1.4;
+      Milp.Model.set_objective m
+        ((y, 0.7) :: List.map2 (fun x v -> (x, v)) xs values);
+      let s = Milp.Solver.solve ~lp_core:Lp.Simplex.Sparse m in
+      let d = Milp.Solver.solve ~lp_core:Lp.Simplex.Dense m in
+      outcome_name s.Milp.Solver.outcome = outcome_name d.Milp.Solver.outcome
+      && (match (s.Milp.Solver.incumbent, d.Milp.Solver.incumbent) with
+         | Some (_, a), Some (_, b) -> Float.abs (a -. b) < 1e-6
+         | None, None -> true
+         | _ -> false)
+      && Float.abs (s.Milp.Solver.best_bound -. d.Milp.Solver.best_bound)
+         < 1e-6)
+
+let test_sparse_warm_resolve_beats_dense () =
+  (* Strict acceptance for the revised simplex: on the NN smoke
+     encoding, a depth-12 warm node re-solve through the factored basis
+     must beat the same re-solve on the dense tableau (the tentpole's
+     headline number; min-of-5 per core to de-noise). *)
+  let rng = Linalg.Rng.create 21 in
+  let net =
+    Nn.Network.create ~rng [ 6; 10; 10; Nn.Gmm.output_dim ~components:2 ]
+  in
+  let box = Array.make 6 (Interval.make (-0.25) 0.25) in
+  let enc = Encoding.Encoder.encode net box in
+  let p = Lp.Problem.copy (Milp.Model.lp enc.Encoding.Encoder.model) in
+  Lp.Problem.set_objective p (Encoding.Encoder.output_objective enc 0);
+  let fixes =
+    List.filteri (fun i _ -> i < 12) enc.Encoding.Encoder.binaries
+    |> List.mapi (fun i (v, _, _) ->
+           if i mod 2 = 0 then (v, 0.0, 0.0) else (v, 1.0, 1.0))
+  in
+  let run core =
+    let parent = Lp.Simplex.solve ~core p in
+    let basis =
+      match parent.Lp.Simplex.basis with
+      | Some b -> b
+      | None -> Alcotest.fail "relaxation must yield a basis snapshot"
+    in
+    Lp.Problem.push_bounds p;
+    List.iter (fun (v, lo, hi) -> Lp.Problem.set_bounds p v ~lo ~hi) fixes;
+    let warm = Lp.Simplex.resolve ~core ~basis p in
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Lp.Simplex.resolve ~core ~basis p);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    Lp.Problem.pop_bounds p;
+    (warm, !best)
+  in
+  let sparse_sol, sparse_s = run Lp.Simplex.Sparse in
+  let dense_sol, dense_s = run Lp.Simplex.Dense in
+  Alcotest.(check bool) "same status" true
+    (sparse_sol.Lp.Simplex.status = dense_sol.Lp.Simplex.status);
+  Alcotest.(check (float 1e-5)) "same child objective"
+    dense_sol.Lp.Simplex.objective sparse_sol.Lp.Simplex.objective;
+  Alcotest.(check bool) "sparse took the warm path" true
+    sparse_sol.Lp.Simplex.warm;
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse warm re-solve (%.3f ms) < dense (%.3f ms)"
+       (1e3 *. sparse_s) (1e3 *. dense_s))
+    true (sparse_s < dense_s)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "milp"
@@ -871,6 +945,10 @@ let () =
           quick "diver reaches first incumbent no later"
             test_portfolio_dives_to_first_incumbent_faster;
         ] );
+      ( "sparse core",
+        [
+          quick "warm re-solve beats dense" test_sparse_warm_resolve_beats_dense;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -879,5 +957,6 @@ let () =
             prop_portfolio_matches_sequential;
             prop_pseudo_first_matches_reference;
             prop_warm_matches_cold;
+            prop_sparse_lp_core_matches_dense;
           ] );
     ]
