@@ -711,7 +711,53 @@ let micro ?(json = false) () =
               r.Milp.Solver.elapsed
               (if i = List.length rows - 1 then "" else ","))
           rows;
-        Printf.fprintf oc "  ]\n";
+        Printf.fprintf oc "  ],\n";
+        (* Certificate trajectory (report-only): what the auditable
+           artifacts of a certified smoke proof cost on disk. *)
+        let snet, _ = Lazy.force portfolio_smoke in
+        let sbox = Array.make 6 (Interval.make (-0.25) 0.25) in
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "depnn_bench_certs_%d" (Unix.getpid ()))
+        in
+        (match
+           Option.map
+             (fun v ->
+               Verify.Driver.prove_lateral_velocity_le ~certify_dir:dir
+                 ~components:2 ~threshold:(v +. 0.5) snet sbox)
+             (Verify.Driver.max_lateral_velocity ~components:2 snet sbox)
+               .Verify.Driver.value
+         with
+         | exception _ -> Printf.fprintf oc "  \"certificates\": null\n"
+         | None -> Printf.fprintf oc "  \"certificates\": null\n"
+         | Some pr ->
+             let files =
+               Sys.readdir dir |> Array.to_list
+               |> List.filter (fun f -> Filename.check_suffix f ".cert")
+             in
+             let sizes =
+               List.map
+                 (fun f ->
+                   (Unix.stat (Filename.concat dir f)).Unix.st_size)
+                 files
+             in
+             let total = List.fold_left ( + ) 0 sizes in
+             let count = List.length files in
+             Printf.fprintf oc
+               "  \"certificates\": {\"count\": %d, \"total_bytes\": %d, \
+                \"mean_bytes\": %.1f, \"certified\": %d, \"proved\": %b}\n"
+               count total
+               (if count = 0 then 0.0
+                else float_of_int total /. float_of_int count)
+               pr.Verify.Driver.certified
+               (pr.Verify.Driver.proof = Verify.Driver.Proved));
+        (try
+           Array.iter
+             (fun f -> Sys.remove (Filename.concat dir f))
+             (Sys.readdir dir);
+           Unix.rmdir dir
+         with Sys_error _ | Unix.Unix_error _ -> ());
         Printf.fprintf oc "}\n");
     Printf.printf "wrote BENCH_milp.json (%d entries)\n" (List.length measured)
   end

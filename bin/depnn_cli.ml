@@ -3,11 +3,13 @@
    Subcommands mirror the methodology pipeline so each pillar can be run
    (and its artefact inspected) in isolation:
 
-     depnn generate --samples 2000 --risky 0.25 --out data.log
-     depnn audit    --samples 2000 --risky 0.25
-     depnn train    --width 20 --epochs 20 --out predictor.net
-     depnn verify   predictor.net --threshold 1.5 --time-limit 60
-     depnn trace    predictor.net
+     depnn generate   --samples 2000 --risky 0.25 --out data.log
+     depnn data-audit --samples 2000 --risky 0.25
+     depnn train      --width 20 --epochs 20 --out predictor.net
+     depnn verify     predictor.net --threshold 1.5 --time-limit 60
+     depnn verify     predictor.net --certify certs/ --watchdog
+     depnn audit      predictor.net certs/
+     depnn trace      predictor.net
      depnn simulate predictor.net
      depnn certify  --width 10
      depnn fault campaign --trials 50 --lat-limit 1.5 --smoke
@@ -172,16 +174,17 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Record driving scenes with the expert policy.")
     Term.(const generate $ seed_arg $ samples_arg $ risky_arg $ out)
 
-(* {1 audit} *)
+(* {1 data-audit} *)
 
-let audit seed samples risky =
+let data_audit seed samples risky =
   let _, report = clean_data ~seed ~samples ~risky in
   print_string (Sanitizer.render_report report)
 
-let audit_cmd =
+let data_audit_cmd =
   Cmd.v
-    (Cmd.info "audit" ~doc:"Run the pillar-C data sanitizer and print the audit.")
-    Term.(const audit $ seed_arg $ samples_arg $ risky_arg)
+    (Cmd.info "data-audit"
+       ~doc:"Run the pillar-C data sanitizer and print the audit.")
+    Term.(const data_audit $ seed_arg $ samples_arg $ risky_arg)
 
 (* {1 train} *)
 
@@ -226,7 +229,7 @@ let net_arg =
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
 let verify net_path threshold time_limit slack cores portfolio bound_mode
-    lp_core =
+    lp_core certify_dir resume watchdog =
   apply_lp_core lp_core;
   let net = Nn.Io.load net_path in
   Printf.printf "verifying %s (%s, %s bounds, %s lp core)\n"
@@ -289,26 +292,67 @@ let verify net_path threshold time_limit slack cores portfolio bound_mode
       ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget;
   let proof =
     Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ?portfolio
-      ~components ~bound_mode ~threshold net box
+      ~components ~bound_mode ~threshold ?certify_dir ~resume ~watchdog net
+      box
   in
   if proof.Verify.Driver.presolved > 0 then
     Printf.printf
       "pre-pass discharged %d/%d components without search (%d nodes total)\n"
       proof.Verify.Driver.presolved components proof.Verify.Driver.proof_nodes;
-  (match proof.Verify.Driver.proof with
-   | Verify.Driver.Proved ->
-       Printf.printf "PROVED: lateral velocity <= %.2f m/s on the scenario\n"
-         threshold
-   | Verify.Driver.Disproved w ->
-       Printf.printf "UNSAFE: counterexample reaches %.3f m/s\n"
-         w.Verify.Driver.achieved
-   | Verify.Driver.Unknown { best_bound } ->
-       Printf.printf "UNKNOWN: bound %.3f after the time limit\n" best_bound);
-  if
-    (match proof.Verify.Driver.proof with
-     | Verify.Driver.Disproved _ -> true
-     | Verify.Driver.Proved | Verify.Driver.Unknown _ -> false)
-  then exit 1
+  (match certify_dir with
+   | Some dir ->
+       Printf.printf
+         "certificates: %d/%d components certified in %s (%d resumed)\n"
+         proof.Verify.Driver.certified components dir
+         proof.Verify.Driver.resumed
+   | None -> ());
+  if proof.Verify.Driver.degraded > 0 then
+    Printf.printf "watchdog: %d fallback transition%s taken\n"
+      proof.Verify.Driver.degraded
+      (if proof.Verify.Driver.degraded = 1 then "" else "s");
+  (* Scriptable contract: 0 = Proved, 1 = Disproved, 2 = Unknown. *)
+  match proof.Verify.Driver.proof with
+  | Verify.Driver.Proved ->
+      Printf.printf "PROVED: lateral velocity <= %.2f m/s on the scenario\n"
+        threshold
+  | Verify.Driver.Disproved w ->
+      Printf.printf "UNSAFE: counterexample reaches %.3f m/s\n"
+        w.Verify.Driver.achieved;
+      exit 1
+  | Verify.Driver.Unknown { best_bound } ->
+      Printf.printf "UNKNOWN: bound %.3f after the time limit\n" best_bound;
+      exit 2
+
+let certify_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "certify" ] ~docv:"DIR"
+        ~doc:
+          "Write an auditable proof certificate per component plus a \
+           crash-safe journal into $(docv); replay them independently \
+           with $(b,depnn audit). Forces deterministic re-encodable \
+           solves (no OBBT, sequential search).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip components already settled in the $(b,--certify) \
+           directory's journal for the same network and property \
+           (survives kills: a torn journal line is ignored and the \
+           component re-proved).")
+
+let watchdog_arg =
+  Arg.(
+    value & flag
+    & info [ "watchdog" ]
+        ~doc:
+          "Run each component under its share of the deadline and \
+           degrade along a fallback ladder (symbolic-only, sparse \
+           MILP, dense MILP, honest unknown) instead of aborting the \
+           campaign on a timeout or numerical failure.")
 
 let verify_cmd =
   let threshold =
@@ -327,7 +371,37 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
     Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg
-          $ portfolio_arg $ bound_mode_arg $ lp_core_arg)
+          $ portfolio_arg $ bound_mode_arg $ lp_core_arg $ certify_dir_arg
+          $ resume_arg $ watchdog_arg)
+
+(* {1 audit} *)
+
+let audit net_path dir =
+  let net = Nn.Io.load net_path in
+  Printf.printf "auditing %s against %s\n" (Nn.Network.describe net) dir;
+  let report = Certify.Audit.run ~net ~dir in
+  print_string (Certify.Audit.render report);
+  match report.Certify.Audit.verdict with
+  | `Proved -> ()
+  | `Disproved -> exit 1
+  | `Unknown -> exit 2
+
+let audit_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 1 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Certification directory written by verify --certify.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Independently re-verify a certification directory: replay every \
+          certificate with outward-rounded arithmetic, trusting nothing \
+          the solver concluded. Exit 0 = Proved, 1 = Disproved, 2 = \
+          Unknown or any rejected certificate.")
+    Term.(const audit $ net_arg $ dir)
 
 (* {1 trace} *)
 
@@ -433,7 +507,8 @@ let fault_campaign net_path seed width trials scenes lat_limit time_limit
     end
   in
   let report =
-    Fault.Campaign.run ~rng ~envelope ~reverify ~faults ~scenes ~trials net
+    Fault.Campaign.run ~rng ~envelope ~reverify ~cores ~faults ~scenes ~trials
+      net
   in
   print_string (Fault.Campaign.render report);
   if smoke then begin
@@ -593,6 +668,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
+            generate_cmd; data_audit_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
             simulate_cmd; certify_cmd; fault_cmd; guard_cmd;
           ]))

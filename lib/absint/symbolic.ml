@@ -44,8 +44,7 @@ let relax_of act (iv : Interval.t) =
    scalar relaxation (post -> pre) and then by its exact affine
    incoming map (pre -> previous post), and finally evaluate the
    input-level form over the box. [coeffs] is consumed. *)
-let concretise ~dir net (relax : relaxation array array) box ~layer coeffs
-    const =
+let input_form ~dir net (relax : relaxation array array) ~layer coeffs const =
   let coeffs = ref coeffs and const = ref const in
   for k = layer downto 0 do
     let c = !coeffs in
@@ -84,7 +83,11 @@ let concretise ~dir net (relax : relaxation array array) box ~layer coeffs
     coeffs := next;
     const := !cst
   done;
-  let iv = Interval.affine !coeffs !const box in
+  (!coeffs, !const)
+
+let concretise ~dir net relax box ~layer coeffs const =
+  let coeffs, const = input_form ~dir net relax ~layer coeffs const in
+  let iv = Interval.affine coeffs const box in
   match dir with `Upper -> iv.Interval.hi | `Lower -> iv.Interval.lo
 
 let propagate_internal ?phases net box =
@@ -165,6 +168,20 @@ let no_phases net =
       Array.make (Nn.Layer.output_dim (Nn.Network.layer net i)) Free)
 
 let output_bounds t = t.post.(Array.length t.post - 1)
+
+(* Back-substitute the unit form e_output over the last layer's
+   post-activations all the way to the inputs: the result is the
+   analysis's upper bounding hyperplane for that output, usable as a
+   serialisable proof artifact (evaluating it over the box reproduces
+   the analysis's output upper bound up to rounding order). *)
+let output_upper_form t net ~output =
+  let nlayers = Nn.Network.num_layers net in
+  let out_dim = Nn.Layer.output_dim (Nn.Network.layer net (nlayers - 1)) in
+  if output < 0 || output >= out_dim then
+    invalid_arg "Symbolic.output_upper_form: output index out of range";
+  let coeffs = Array.make out_dim 0.0 in
+  coeffs.(output) <- 1.0;
+  input_form ~dir:`Upper net t.relax ~layer:(nlayers - 1) coeffs 0.0
 
 let count_unstable net t =
   let count = ref 0 in

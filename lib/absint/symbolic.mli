@@ -66,6 +66,16 @@ val output_bounds : t -> Interval.t array
 (** Post-activation bounds of the last layer: sound bounds on every
     network output over the analyzed (sub-)region. *)
 
+val output_upper_form : t -> Nn.Network.t -> output:int -> float array * float
+(** The analysis's upper bounding hyperplane for one network output,
+    back-substituted down to the inputs: [(coeffs, const)] such that
+    [output(x) <= coeffs·x + const] for every [x] in the analyzed box
+    (up to floating-point rounding of the back-substitution — auditors
+    must re-derive their own outward-rounded bound and treat this form
+    as a cross-check artifact, which is how {!Certify} serialises
+    presolved components). [t] must come from a [propagate] over the
+    same network. Raises [Invalid_argument] on a bad output index. *)
+
 val count_unstable : Nn.Network.t -> t -> int
 (** Hidden ReLU neurons whose sign the symbolic bounds do not decide
     (mirrors {!Encoding.Bounds.count_unstable}). *)

@@ -1,0 +1,54 @@
+(** Independent audit of a certification directory.
+
+    The audit trusts only {!Nn.Io} (to load and hash the network), the
+    deterministic encoder rebuild ([tighten_rounds = 0]) and its own
+    outward arithmetic ({!Outward}, {!Checker}). Everything the solver
+    concluded — LP pivots, warm starts, branch & bound pruning,
+    portfolio scheduling — is outside the trusted base and is replayed
+    from the certificates alone. A mutated, truncated or stale
+    certificate is rejected with a reason, never silently accepted. *)
+
+type status =
+  | Confirmed        (** evidence replayed cleanly under outward rounding *)
+  | Rejected of string
+      (** evidence missing, mutated, stale or insufficient *)
+  | Unverified of string
+      (** the campaign itself recorded an honest unknown — nothing to
+          confirm, nothing to reject *)
+
+type component_report = {
+  component : int;
+  claimed : string;  (** journal verdict: proved / disproved / unknown *)
+  status : status;
+  detail : string;   (** human-readable replay summary when confirmed *)
+}
+
+type report = {
+  net_hash : string;
+  components : component_report list;
+  total : int option;
+      (** expected component count, read from the first valid
+          certificate ([None] when no certificate parsed) *)
+  verdict : [ `Proved | `Disproved | `Unknown ];
+      (** [`Proved] only when {e every} expected component has a
+          confirmed proof; [`Disproved] when any confirmed witness
+          exists; [`Unknown] otherwise (including any rejection) *)
+  ok : bool;  (** settled verdict and no rejected component *)
+}
+
+val check_certificate : Nn.Network.t -> Certificate.t -> (string, string) result
+(** Replay one certificate body against the network: witness forward
+    enclosure, independent outward symbolic bound, or full branch &
+    bound tree replay (per-leaf dual/Farkas/empty-row evidence plus the
+    coverage check that the recorded leaves tile the input box). [Ok]
+    carries a replay summary; [Error] the rejection reason. The
+    emitter calls this on freshly built certificates too, so a
+    certificate is never journaled unless it already replays. *)
+
+val run : net:Nn.Network.t -> dir:string -> report
+(** Audit a whole campaign directory: load the journal (last entry per
+    component wins), verify each entry's network and property hashes,
+    parse and replay its certificate, and aggregate the verdict. *)
+
+val render : report -> string
+(** Plain-text per-component summary for the CLI and CI logs. *)

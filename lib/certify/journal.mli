@@ -1,0 +1,35 @@
+(** Crash-safe campaign journal.
+
+    A certification directory holds one [journal.log] plus one
+    certificate file per settled component. The journal is append-only:
+    each line carries its own FNV checksum, is written with [O_APPEND]
+    (atomic on POSIX) and fsynced before the campaign moves on — so
+    after a kill at any instant, {!load} returns exactly the entries
+    that were acknowledged, and a torn final line is skipped rather
+    than trusted. Certificates are written via temp file + fsync +
+    atomic rename. *)
+
+type entry = {
+  component : int;
+  verdict : string;  (** ["proved"], ["disproved"] or ["unknown"] *)
+  cert_file : string option;
+      (** certificate file name within the directory, if any *)
+  net_hash : string;   (** {!Nn.Io.content_hash} the verdict is about *)
+  prop_hash : string;  (** {!Certificate.property_hash} ditto *)
+}
+
+val init : string -> unit
+(** Create the directory (and parents) if needed. *)
+
+val append : dir:string -> entry -> unit
+(** Checksum, append, fsync. *)
+
+val load : dir:string -> entry list
+(** All well-formed entries in file order; lines failing their
+    checksum (torn writes, foreign edits) are silently skipped.
+    Missing journal = empty list. *)
+
+val write_cert : dir:string -> name:string -> string -> unit
+(** Atomic write of a certificate blob (temp + fsync + rename). *)
+
+val read_cert : dir:string -> name:string -> (string, string) result

@@ -1,0 +1,82 @@
+(* Outward-rounded scalar and interval arithmetic.
+
+   OCaml floats round to nearest, so every primitive result is within
+   one ulp of the true value; stepping one float outward after each
+   operation therefore yields a guaranteed directed bound without
+   touching the FPU rounding mode (which OCaml cannot portably set).
+   The price is one spurious ulp per operation — irrelevant against the
+   1e-6-scale tolerances the solver itself works to. *)
+
+let up x = Float.succ x
+let dn x = Float.pred x
+let add_up a b = up (a +. b)
+let add_dn a b = dn (a +. b)
+let sub_up a b = up (a -. b)
+let sub_dn a b = dn (a -. b)
+let mul_up a b = up (a *. b)
+let mul_dn a b = dn (a *. b)
+let div_up a b = up (a /. b)
+let div_dn a b = dn (a /. b)
+
+type iv = { lo : float; hi : float }
+
+let exact x = { lo = x; hi = x }
+let zero = exact 0.0
+let is_finite v = Float.is_finite v.lo && Float.is_finite v.hi
+let add a b = { lo = add_dn a.lo b.lo; hi = add_up a.hi b.hi }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let sub a b = add a (neg b)
+
+(* Scale by an exact scalar. *)
+let scale c a =
+  if c = 0.0 then zero
+  else if c > 0.0 then { lo = mul_dn c a.lo; hi = mul_up c a.hi }
+  else { lo = mul_dn c a.hi; hi = mul_up c a.lo }
+
+(* Full interval product: outward hull of the four corner products. *)
+let mul a b =
+  let lo =
+    Float.min
+      (Float.min (mul_dn a.lo b.lo) (mul_dn a.lo b.hi))
+      (Float.min (mul_dn a.hi b.lo) (mul_dn a.hi b.hi))
+  in
+  let hi =
+    Float.max
+      (Float.max (mul_up a.lo b.lo) (mul_up a.lo b.hi))
+      (Float.max (mul_up a.hi b.lo) (mul_up a.hi b.hi))
+  in
+  { lo; hi }
+
+(* [u / d] for exact positive [u]'s interval... general enough: divide
+   an exact non-negative numerator by a strictly positive interval. *)
+let div_pos u d =
+  { lo = div_dn u d.hi; hi = div_up u d.lo }
+
+(* Upper bound of [max (r * l) (r * u)] over every [r] in the interval
+   — the per-variable term of the weak-duality bound U(y). With exact
+   [r] this is the worst bound endpoint; with an interval [r] the four
+   outward corner products cover every selection. *)
+let sup_extreme r ~lo ~hi =
+  Float.max
+    (Float.max (mul_up r.lo lo) (mul_up r.lo hi))
+    (Float.max (mul_up r.hi lo) (mul_up r.hi hi))
+
+(* Lower bound of [min (r * l) (r * u)] — dual of [sup_extreme]. *)
+let inf_extreme r ~lo ~hi =
+  Float.min
+    (Float.min (mul_dn r.lo lo) (mul_dn r.lo hi))
+    (Float.min (mul_dn r.hi lo) (mul_dn r.hi hi))
+
+(* Monotone libm envelopes, widened two ulps to absorb any libm
+   last-digit error (documented assumption: the system tanh/exp are
+   faithfully rounded to within 1 ulp, which every libm in practical
+   use satisfies). *)
+let tanh_iv v =
+  { lo = dn (dn (tanh v.lo)); hi = up (up (tanh v.hi)) }
+
+let sigmoid_iv v =
+  let f x = 1.0 /. (1.0 +. exp (-.x)) in
+  { lo = Float.max 0.0 (dn (dn (dn (f v.lo))));
+    hi = Float.min 1.0 (up (up (up (f v.hi)))) }
+
+let relu_iv v = { lo = Float.max 0.0 v.lo; hi = Float.max 0.0 v.hi }

@@ -30,6 +30,7 @@ type report = {
   benign : int;
   escaped_exceptions : int;
   total_fallbacks : int;
+  failed_workers : int;
   reverified : reverification list;
   elapsed : float;
 }
@@ -119,8 +120,8 @@ let find_nan_fault ~components ~scenes net =
   with Found f -> Some f
 
 let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
-    ?(reverify_time_limit = 5.0) ?(progress = fun _ _ -> ()) ?(faults = [])
-    ~scenes ~trials net =
+    ?(reverify_time_limit = 5.0) ?(progress = fun _ _ -> ()) ?(cores = 1)
+    ?(faults = []) ~scenes ~trials net =
   if Array.length scenes = 0 then invalid_arg "Campaign.run: no scenes";
   if trials <= 0 && faults = [] then
     invalid_arg "Campaign.run: trials must be positive";
@@ -201,7 +202,46 @@ let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
       escaped_exception = !escaped;
     }
   in
-  let trial_results = Array.mapi run_trial planned in
+  let failed_workers = ref 0 in
+  let trial_results =
+    let n = Array.length planned in
+    if cores <= 1 || n <= 1 then Array.mapi run_trial planned
+    else begin
+      (* Work-stealing across domains. Each slot is written by exactly
+         one worker (the one whose [fetch_and_add] claimed its index)
+         and read only after every join, so the array needs no lock. *)
+      let slots = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            slots.(i) <- Some (run_trial i planned.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init (min cores n) (fun _ -> Domain.spawn worker) in
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception _ -> incr failed_workers)
+        domains;
+      (* Re-queue: a worker that died mid-trial leaves its claimed slot
+         empty; the survivors keep draining the counter, so only the
+         trials actually in flight on dead domains are missing. Run
+         them here in the parent — a lost worker degrades throughput,
+         never coverage (mirrors Milp.Parallel's failed_workers). *)
+      Array.mapi
+        (fun i slot ->
+          match slot with
+          | Some t -> t
+          | None -> run_trial i planned.(i))
+        slots
+    end
+  in
   (* Re-verify a sample of the faulted networks by MILP: the empirical
      maximum seen during replay must stay below the formal bound. *)
   let reverified =
@@ -263,6 +303,7 @@ let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
     escaped_exceptions = count (fun t -> t.escaped_exception);
     total_fallbacks =
       Array.fold_left (fun n t -> n + t.fallbacks) 0 trial_results;
+    failed_workers = !failed_workers;
     reverified;
     elapsed = Unix.gettimeofday () -. start;
   }
@@ -298,6 +339,10 @@ let render r =
        r.escaped_exceptions);
   Buffer.add_string buf
     (Printf.sprintf "  fallback predictions        %4d\n" r.total_fallbacks);
+  if r.failed_workers > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  failed workers              %4d  (trials re-queued)\n"
+         r.failed_workers);
   if r.reverified <> [] then begin
     Buffer.add_string buf "  MILP re-verification of faulted networks:\n";
     List.iter

@@ -64,6 +64,10 @@ type report = {
   benign : int;
   escaped_exceptions : int;  (** must be 0: the guard never leaks *)
   total_fallbacks : int;
+  failed_workers : int;
+      (** worker domains that died mid-campaign; their in-flight trials
+          were re-queued and run in the parent, so every planned trial
+          is still accounted for in [trials] *)
   reverified : reverification list;
   elapsed : float;
 }
@@ -76,6 +80,7 @@ val run :
   ?reverify:int ->
   ?reverify_time_limit:float ->
   ?progress:(int -> Model.t -> unit) ->
+  ?cores:int ->
   ?faults:Model.t list ->
   scenes:Linalg.Vec.t array ->
   trials:int ->
@@ -86,9 +91,16 @@ val run :
     [reverify_time_limit] seconds each (default 5 s); faulted networks
     whose parameters are no longer finite (or whose bounds overflow the
     encoder) are skipped. [progress] is called with each trial index and
-    fault before the replay. [faults] are explicit faults run as the
-    first trials (in addition to the [trials] sampled ones) — the CI
-    smoke uses this to pin a known NaN-producing flip. Raises
+    fault before the replay (from worker domains when [cores > 1]).
+    [cores] (default 1) replays trials on that many domains via
+    work-stealing; all faults are sampled up front, so the trial list —
+    and hence the counts — are identical to the sequential run. A
+    worker domain that dies (an exception escaping a trial) is counted
+    in [failed_workers] and its unfinished trials are {e re-queued} and
+    run in the parent rather than silently dropped, mirroring
+    {!Milp.Parallel}'s degradation. [faults] are explicit faults run as
+    the first trials (in addition to the [trials] sampled ones) — the
+    CI smoke uses this to pin a known NaN-producing flip. Raises
     [Invalid_argument] when [scenes] is empty or when there is nothing
     to run ([trials <= 0] and no explicit faults). *)
 

@@ -26,6 +26,19 @@ type basis = {
   bfactor : Sparse.factor option;
 }
 
+(* Certificates are plain dual vectors over the original (unscaled)
+   rows, one entry per row, in the slack-equality view of the problem:
+   every row reads  A_i·x + s_i = b_i  with the slack bounds encoding
+   the sense, so the duals are sign-free. For ANY y the identity
+   c·x = y·b + r·z with r = c̄ − Āᵀy holds over feasible z = (x, s),
+   hence U(y) = y·b + Σ_j max(r_j·l_j, r_j·u_j) is a sound upper bound
+   on the objective — an auditor recomputes U(y) with outward rounding
+   and never has to trust the pivoting that produced y. *)
+type cert =
+  | Cert_duals of float array
+  | Cert_farkas of float array
+  | Cert_empty_row of int
+
 type solution = {
   status : status;
   objective : float;
@@ -33,6 +46,7 @@ type solution = {
   iterations : int;
   basis : basis option;
   warm : bool;
+  cert : cert option;
 }
 
 (* Two-phase primal bounded-variable simplex on a dense tableau.
@@ -61,7 +75,11 @@ type tableau = {
   xb : float array;            (* values of basic variables per row *)
 }
 
-exception Infeasible_problem
+(* Raised during tableau construction when row [i]'s slack range is
+   empty under the variable box — exact interval arithmetic, no
+   pivoting involved, so the row index itself is the certificate. *)
+exception Row_infeasible of int
+
 exception Numerical_error of string
 
 (* Fail fast when NaN/Inf appears in the tableau: continuing would
@@ -88,20 +106,20 @@ let row_activity_bounds lo hi (terms : (int * float) array) =
 
 (* Slack bounds encode the row sense: activity + slack = rhs. An empty
    range means the row cannot be satisfied by any point of the box. *)
-let slack_bounds lo hi (row : Problem.row) =
+let slack_bounds ~row:i lo hi (row : Problem.row) =
   let alo, ahi = row_activity_bounds lo hi row.terms in
   match row.cmp with
   | Problem.Le ->
       let shi = row.rhs -. alo in
-      if shi < 0.0 then raise Infeasible_problem;
+      if shi < 0.0 then raise (Row_infeasible i);
       (0.0, shi)
   | Problem.Ge ->
       let slo = row.rhs -. ahi in
-      if slo > 0.0 then raise Infeasible_problem;
+      if slo > 0.0 then raise (Row_infeasible i);
       (slo, 0.0)
   | Problem.Eq ->
       if row.rhs < alo -. 1e-9 || row.rhs > ahi +. 1e-9 then
-        raise Infeasible_problem;
+        raise (Row_infeasible i);
       (0.0, 0.0)
 
 let build problem ~negate =
@@ -135,7 +153,7 @@ let build problem ~negate =
         (fun (_, c) -> check_finite "non-finite constraint coefficient" c)
         row.Problem.terms;
       check_finite "non-finite constraint rhs" row.Problem.rhs;
-      let slo, shi = slack_bounds vlo vhi row in
+      let slo, shi = slack_bounds ~row:i vlo vhi row in
       let si = nstruct + i in
       lo.(si) <- slo;
       hi.(si) <- shi;
@@ -334,6 +352,17 @@ let recompute_reduced_costs tb =
     end
   done
 
+(* Dual vector over the original rows, read straight off the maintained
+   reduced costs: row i's slack column satisfies r_si = −sign_i·ŷ_i in
+   the build-scaled tableau and r_si = −ŷ_i in the unscaled warm
+   tableau, while the original-row dual is y_i = sign_i·ŷ_i — the row
+   scaling cancels because the slack column carries the same sign
+   factor as its row, so y_i = −r_si in both layouts. O(m) copy, no
+   extra factorisation; drift since the last reduced-cost refresh only
+   loosens the certified bound, never unsoundly (the auditor recomputes
+   everything from y). *)
+let row_duals tb = Array.init tb.m (fun i -> -.tb.r.(tb.nstruct + i))
+
 let phase_objective tb =
   let total = ref 0.0 in
   for i = 0 to tb.m - 1 do
@@ -435,7 +464,7 @@ let snapshot tb =
    values can be read off against the new nonbasic bound values.
    Returns [None] when the snapshot does not fit this problem or the
    claimed basis is singular — the caller then solves cold. Raises
-   [Infeasible_problem] when a row's slack range is empty under the
+   [Row_infeasible] when a row's slack range is empty under the
    current box (the same sound, cheap detection the cold build does). *)
 let restore_basis problem basis ~negate =
   let rows = Problem.rows problem in
@@ -473,7 +502,7 @@ let restore_basis problem basis ~negate =
           (fun (_, c) -> check_finite "non-finite constraint coefficient" c)
           row.Problem.terms;
         check_finite "non-finite constraint rhs" row.Problem.rhs;
-        let slo, shi = slack_bounds vlo vhi row in
+        let slo, shi = slack_bounds ~row:i vlo vhi row in
         lo.(nstruct + i) <- slo;
         hi.(nstruct + i) <- shi;
         Array.iter
@@ -684,9 +713,9 @@ let dual_optimize tb ~limit ~start_iter =
 
 let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
   match build problem ~negate with
-  | exception Infeasible_problem ->
+  | exception Row_infeasible i ->
       { status = Infeasible; objective = 0.0; x = [||]; iterations = 0;
-        basis = None; warm = false }
+        basis = None; warm = false; cert = Some (Cert_empty_row i) }
   | tb ->
       let limit =
         match max_iterations with
@@ -696,10 +725,18 @@ let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
       (* Phase 1: drive sum of artificials to zero. *)
       let result =
         match optimize tb ~eps ~limit ~start_iter:0 with
-        | None -> (Iteration_limit, limit)
+        | None -> (Iteration_limit, limit, None)
         | Some it1 ->
             let infeasibility = -.phase_objective tb in
-            if infeasibility > 1e-6 then (Infeasible, it1)
+            if infeasibility > 1e-6 then begin
+              (* Farkas ray from the phase-1 optimum: with the phase-1
+                 objective (0 on every real column) the same duals give
+                 U(y) ≈ −infeasibility < 0, which an auditor confirms
+                 with outward rounding. Recompute first — the infeasible
+                 exit is rare and the ray must be as clean as possible. *)
+              recompute_reduced_costs tb;
+              (Infeasible, it1, Some (Cert_farkas (row_duals tb)))
+            end
             else begin
               (* Pin artificials and switch to the real objective. *)
               for i = 0 to tb.m - 1 do
@@ -715,18 +752,22 @@ let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
               done;
               recompute_reduced_costs tb;
               match optimize tb ~eps ~limit ~start_iter:it1 with
-              | None -> (Iteration_limit, limit)
-              | Some it2 -> (Optimal, it2)
+              | None -> (Iteration_limit, limit, None)
+              | Some it2 ->
+                  let cert =
+                    if negate then None else Some (Cert_duals (row_duals tb))
+                  in
+                  (Optimal, it2, cert)
             end
       in
-      let status, iterations = result in
+      let status, iterations, cert = result in
       let x = extract tb in
       let obj = Problem.objective problem in
       let value = ref 0.0 in
       for j = 0 to tb.nstruct - 1 do
         value := !value +. (obj.(j) *. x.(j))
       done;
-      { status; objective = !value; x; iterations; warm = false;
+      { status; objective = !value; x; iterations; warm = false; cert;
         basis = (if status = Optimal then snapshot tb else None) }
 
 (* Warm re-solve: rebuild the parent's optimal basis under the child's
@@ -740,7 +781,9 @@ let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
 let resolve_internal ?max_iterations ?(eps = 1e-7) problem ~basis =
   let cold () = solve_internal ?max_iterations ~eps problem ~negate:false in
   match restore_basis problem basis ~negate:false with
-  | exception Infeasible_problem -> cold ()
+  | exception Row_infeasible i ->
+      { status = Infeasible; objective = 0.0; x = [||]; iterations = 0;
+        basis = None; warm = false; cert = Some (Cert_empty_row i) }
   | exception Numerical_error _ -> cold ()
   | None -> cold ()
   | Some tb -> (
@@ -765,7 +808,8 @@ let resolve_internal ?max_iterations ?(eps = 1e-7) problem ~basis =
                 value := !value +. (obj.(j) *. x.(j))
               done;
               { status = Optimal; objective = !value; x; iterations;
-                basis = snapshot tb; warm = true }))
+                basis = snapshot tb; warm = true;
+                cert = Some (Cert_duals (row_duals tb)) }))
 
 (* ------------------------------------------------------------------ *)
 (* Sparse revised simplex.
@@ -1142,7 +1186,7 @@ module Rev = struct
     Array.iteri
       (fun i row ->
         check_finite "non-finite constraint rhs" row.Problem.rhs;
-        let slo, shi = slack_bounds vlo vhi row in
+        let slo, shi = slack_bounds ~row:i vlo vhi row in
         let si = nstruct + i in
         lo.(si) <- slo;
         hi.(si) <- shi;
@@ -1238,7 +1282,7 @@ module Rev = struct
       Array.iteri
         (fun i row ->
           check_finite "non-finite constraint rhs" row.Problem.rhs;
-          let slo, shi = slack_bounds vlo vhi row in
+          let slo, shi = slack_bounds ~row:i vlo vhi row in
           lo.(nstruct + i) <- slo;
           hi.(nstruct + i) <- shi;
           columns.(nstruct + i) <- [| (i, 1.0) |];
@@ -1421,7 +1465,11 @@ module Rev = struct
      sparse path never prunes a branch-and-bound node alone. *)
   type outcome = Done of solution | Doubt of string
 
-  let finish st ~status ~iterations ~warm problem =
+  (* Same slack-column identity as the dense [row_duals]: the sparse
+     build never scales rows, so y_i = −r_si directly. *)
+  let row_duals st = Array.init st.m (fun i -> -.st.r.(st.nstruct + i))
+
+  let finish ?(certify = true) st ~status ~iterations ~warm problem =
     let x = extract st in
     let obj = Problem.objective problem in
     let value = ref 0.0 in
@@ -1435,16 +1483,19 @@ module Rev = struct
       iterations;
       warm;
       basis = (if status = Optimal then snapshot st else None);
+      cert =
+        (if certify && status = Optimal then Some (Cert_duals (row_duals st))
+         else None);
     }
 
   let solve_internal ?max_iterations ?(eps = 1e-7) problem ~negate =
     match build problem ~negate with
-    | exception Infeasible_problem ->
+    | exception Row_infeasible i ->
         (* Empty slack range under the box is exact interval arithmetic,
            the same test the dense build runs: no doubt to defer. *)
         Done
           { status = Infeasible; objective = 0.0; x = [||]; iterations = 0;
-            basis = None; warm = false }
+            basis = None; warm = false; cert = Some (Cert_empty_row i) }
     | st -> (
         let limit =
           match max_iterations with
@@ -1475,13 +1526,18 @@ module Rev = struct
                     (finish st ~status:Iteration_limit ~iterations:limit
                        ~warm:false problem)
               | Some it2 ->
-                  Done (finish st ~status:Optimal ~iterations:it2 ~warm:false problem)
+                  Done
+                    (finish ~certify:(not negate) st ~status:Optimal
+                       ~iterations:it2 ~warm:false problem)
             end)
 
   let resolve_internal ?max_iterations ?(eps = 1e-7) problem ~basis =
     let cold () = solve_internal ?max_iterations ~eps problem ~negate:false in
     match restore problem basis ~negate:false with
-    | exception Infeasible_problem -> cold ()
+    | exception Row_infeasible i ->
+        Done
+          { status = Infeasible; objective = 0.0; x = [||]; iterations = 0;
+            basis = None; warm = false; cert = Some (Cert_empty_row i) }
     | None -> cold ()
     | Some st -> (
         let limit =

@@ -77,6 +77,29 @@ val refactor_interval : int ref
 (** Eta-file length that triggers a refactorization of the sparse
     basis (default 64). Exposed for tests; leave alone otherwise. *)
 
+type cert =
+  | Cert_duals of float array
+      (** One dual multiplier per row, certifying an upper bound on the
+          max-sense objective. In the slack-equality view (every row
+          [A_i·x + s_i = b_i] with slack bounds encoding the sense) the
+          multipliers are sign-free: for ANY [y],
+          [U(y) = y·b + sum_j max(r_j·l_j, r_j·u_j)] with
+          [r = (c,0) − [A|I]ᵀ·y] bounds [c·x] over every feasible
+          point, so an auditor recomputes [U(y)] with outward-rounded
+          interval arithmetic and trusts nothing about the pivoting
+          that produced [y]. *)
+  | Cert_farkas of float array
+      (** Same shape, but certifying infeasibility: with the zero
+          objective, [U(y) < 0] proves the feasible region empty
+          (Farkas ray from the phase-1 optimum). *)
+  | Cert_empty_row of int
+      (** Row index whose slack range is empty under the variable box —
+          infeasibility by exact interval arithmetic, checkable by
+          recomputing the row's activity range outward. *)
+(** Machine-checkable evidence for a solve's conclusion, designed so a
+    small independent checker ({!Certify}) can replay it without
+    re-running any simplex. *)
+
 type solution = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
@@ -88,6 +111,14 @@ type solution = {
   warm : bool;
       (** [true] iff this result came from the warm dual-simplex path
           (no fallback to a cold solve was needed) *)
+  cert : cert option;
+      (** dual certificate for the conclusion: [Cert_duals] /
+          [Cert_farkas] / [Cert_empty_row] as applicable. [None] on
+          [Iteration_limit] and on {!solve_min} optima (certificates
+          are emitted in the max sense only). Reading the maintained
+          reduced costs costs O(rows); any drift since the last refresh
+          only loosens the certified bound — the auditor revalidates
+          from [y] alone. *)
 }
 
 val solve :

@@ -17,10 +17,16 @@ type branch_rule = Search.branch_rule =
   | Priority of (Model.var -> int)
   | Pseudo_first of int array
 
+type leaf_cert =
+  | Leaf_bounded of float array
+  | Leaf_infeasible of float array
+  | Leaf_empty_row of int
+  | Leaf_uncertified of string
+
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(int_eps = 1e-6) ?(branch_rule = Most_fractional) ?(depth_first = false)
     ?(cutoff = neg_infinity) ?primal_heuristic ?node_bound ?objective
-    ?(warm = true) ?lp_core model =
+    ?(warm = true) ?lp_core ?on_leaf model =
   let base = Model.lp model in
   let ints = Model.integer_vars model in
   let start = Unix.gettimeofday () in
@@ -50,6 +56,28 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     incumbent_value := value;
     if !first_incumbent = None then
       first_incumbent := Some (!nodes, Unix.gettimeofday () -. start)
+  in
+  (* Certificate stream: every closed subtree (a leaf of the explored
+     tree) is reported to [on_leaf] with the branching fixes that define
+     it and the evidence that closes it. The collector replays the
+     evidence independently; anything it cannot replay is
+     [Leaf_uncertified] and downgrades the proof honestly. *)
+  let leaf fixes cert =
+    match on_leaf with Some f -> f fixes cert | None -> ()
+  in
+  let relax_leaf fixes (relax : Lp.Simplex.solution) ~bounded =
+    match relax.Lp.Simplex.cert with
+    | Some (Lp.Simplex.Cert_duals y) when bounded ->
+        leaf fixes (Leaf_bounded y)
+    | Some (Lp.Simplex.Cert_farkas y) when not bounded ->
+        leaf fixes (Leaf_infeasible y)
+    | Some (Lp.Simplex.Cert_empty_row i) when not bounded ->
+        leaf fixes (Leaf_empty_row i)
+    | Some _ | None ->
+        leaf fixes
+          (Leaf_uncertified
+             (if bounded then "lp optimum carried no dual certificate"
+              else "lp infeasibility carried no certificate"))
   in
   let best_open_bound () =
     match Search.Pool.peek_bound pool with
@@ -87,9 +115,12 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
           if !incumbent = None && cutoff = neg_infinity then finish Infeasible
           else finish Optimal
       | Some node ->
-          if node.Search.parent_bound <= !incumbent_value +. eps then
+          if node.Search.parent_bound <= !incumbent_value +. eps then begin
             (* Pruned by an incumbent found after this node was queued. *)
+            leaf node.Search.fixes
+              (Leaf_uncertified "pruned against a later incumbent");
             loop ()
+          end
           else begin
             incr nodes;
             (* Independent analysis bound over the node's subtree (e.g.
@@ -106,7 +137,11 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
               | Some b -> b <= !incumbent_value +. eps
               | None -> false
             in
-            if analysis_pruned then loop ()
+            if analysis_pruned then begin
+              leaf node.Search.fixes
+                (Leaf_uncertified "pruned by the analysis bound");
+              loop ()
+            end
             else begin
             Search.with_node_bounds problem node (fun () ->
                 let relax =
@@ -116,7 +151,11 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                 in
                 lp_iters := !lp_iters + relax.Lp.Simplex.iterations;
                 match relax.Lp.Simplex.status with
-                | Lp.Simplex.Infeasible | Lp.Simplex.Iteration_limit -> ()
+                | Lp.Simplex.Infeasible ->
+                    relax_leaf node.Search.fixes relax ~bounded:false
+                | Lp.Simplex.Iteration_limit ->
+                    leaf node.Search.fixes
+                      (Leaf_uncertified "lp iteration limit")
                 | Lp.Simplex.Optimal ->
                     let lp_bound = relax.Lp.Simplex.objective in
                     (* The subtree bound is the tighter of the LP
@@ -144,7 +183,9 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                       with
                       | None ->
                           (* Integral: new incumbent. *)
-                          adopt relax.Lp.Simplex.x lp_bound
+                          adopt relax.Lp.Simplex.x lp_bound;
+                          leaf node.Search.fixes
+                            (Leaf_uncertified "integral incumbent")
                       | Some v ->
                           let xv = relax.Lp.Simplex.x.(v) in
                           let lo, hi = Lp.Problem.bounds problem v in
@@ -153,7 +194,17 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
                           in
                           List.iter push
                             (Search.branch node ~v ~xv ~lo ~hi ~bound ~basis)
-                    end);
+                    end
+                    else if lp_bound <= !incumbent_value +. eps then
+                      (* Pruned by the LP bound itself: the duals
+                         certify it. *)
+                      relax_leaf node.Search.fixes relax ~bounded:true
+                    else
+                      (* Pruned only through the analysis cap — the LP
+                         duals certify a looser bound, so there is no
+                         replayable evidence for this prune. *)
+                      leaf node.Search.fixes
+                        (Leaf_uncertified "pruned by the analysis cap"));
               loop ()
             end
           end

@@ -44,6 +44,21 @@ type branch_rule = Search.branch_rule =
   | Pseudo_first of int array
       (** explicit order: first fractional variable in the given array *)
 
+type leaf_cert =
+  | Leaf_bounded of float array
+      (** LP dual multipliers whose weak-duality bound [U(y)] closes the
+          subtree (see {!Lp.Simplex.cert}) *)
+  | Leaf_infeasible of float array
+      (** Farkas ray proving the subtree's LP region empty *)
+  | Leaf_empty_row of int
+      (** row whose slack range is empty under the subtree's box *)
+  | Leaf_uncertified of string
+      (** closed without replayable evidence (iteration limit, analysis
+          cap, later-incumbent prune, integral incumbent, or a solve
+          path that emits no certificate); a certificate collector must
+          downgrade the proof when it sees one *)
+(** Evidence closing one leaf of the explored branch-and-bound tree. *)
+
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
@@ -57,6 +72,7 @@ val solve :
   ?objective:(Model.var * float) list ->
   ?warm:bool ->
   ?lp_core:Lp.Simplex.core ->
+  ?on_leaf:((Model.var * float * float) list -> leaf_cert -> unit) ->
   Model.t ->
   result
 (** Maximise the model objective. [eps] (default 1e-6) is the absolute
@@ -97,7 +113,16 @@ val solve :
     empty; otherwise the bound caps the LP relaxation bound used for
     pruning and branching. The callback must be sound — a bound below
     the true subtree maximum can prune the optimum away — and, for
-    {!Parallel.solve}, safe to call from multiple domains at once. *)
+    {!Parallel.solve}, safe to call from multiple domains at once.
+
+    [on_leaf] streams one {!leaf_cert} per closed subtree, together
+    with the node's accumulated branching fixes (most recent first — a
+    root-to-leaf path read right-to-left). Over a completed [Optimal]
+    run the reported fixes tile the whole branching tree, which is what
+    lets an auditor check coverage without replaying the search. Only
+    the sequential solver streams leaves; certificate collection
+    deliberately avoids the parallel pool (leaf order and work stealing
+    are nondeterministic there). *)
 
 val solve_min :
   ?time_limit:float ->

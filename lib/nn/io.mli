@@ -25,6 +25,16 @@ exception Invalid_network of error
 
 val error_message : error -> string
 
+val content_hash : Network.t -> string
+(** Canonical content hash of architecture + parameters (16 lowercase
+    hex chars, FNV-1a 64). Hashes layer dimensions, activation names and
+    the IEEE-754 bit patterns of biases and row-major weights — never
+    printed text — so the hash is independent of file format and storage
+    layout. Two networks hash equal iff they are bit-identical as
+    functions; [-0.0] vs [0.0] and distinct NaN payloads hash
+    differently. Used as the certificate key by [Certify] and as the
+    content address of the future proof cache. *)
+
 val to_string : Network.t -> string
 
 val of_string : string -> Network.t

@@ -190,12 +190,15 @@ type proof_result = {
   proof_elapsed : float;
   proof_nodes : int;
   presolved : int;
+  certified : int;
+  resumed : int;
+  degraded : int;
 }
 
-let prove_lateral_velocity_le ?(time_limit = 60.0)
-    ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
-    ?(cores = 1) ?portfolio ?(warm = true) ?lp_core ~components ~threshold net
-    box =
+(* The legacy uncertified prover: parallel/portfolio solves, OBBT
+   allowed, nothing written to disk. *)
+let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
+    ~warm ~lp_core ~components ~threshold net box =
   (* Same budget contract as [maximize_outputs]: OBBT spends from the
      global limit, the remainder is re-split before each query. *)
   let started = Unix.gettimeofday () in
@@ -266,7 +269,308 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
     proof_elapsed = Unix.gettimeofday () -. started;
     proof_nodes = !nodes;
     presolved;
+    certified = 0;
+    resumed = 0;
+    degraded = 0;
   }
+
+(* The certifying / watchdogged prover. One component at a time,
+   sequentially:
+
+   - with a certification directory, every settled component leaves a
+     replayable certificate (self-checked through the same
+     {!Certify.Audit} replay the independent audit runs) plus a
+     checksummed, fsynced journal line — so a kill at any instant
+     loses at most the component in flight, and [resume] skips the
+     settled ones;
+   - with the watchdog, each component runs under its share of the
+     deadline and degrades along a fallback ladder — symbolic-only
+     presolve, sparse MILP, dense MILP, honest Unknown — catching
+     numerical failures per rung instead of aborting the campaign.
+
+   Certificates must be independently rebuildable, so this path forces
+   [tighten_rounds = 0] (an OBBT-tightened model embeds thousands of
+   LP conclusions the checker would have to take on faith) and solves
+   sequentially without analysis node bounds (prunes against a bound
+   the certificate cannot replay would be [Leaf_uncertified]). *)
+let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
+    ~certify_dir ~resume ~watchdog ~components ~threshold net box =
+  let started = Unix.gettimeofday () in
+  let deadline = started +. time_limit in
+  let enc =
+    Encoding.Encoder.encode ~bound_mode ~tighten_rounds:0 ~cores ?lp_core net
+      box
+  in
+  let priority = Encoding.Encoder.layer_order_priority enc in
+  let net_hash = Nn.Io.content_hash net in
+  let property =
+    {
+      Certify.Certificate.threshold;
+      components;
+      bound_mode = Certify.Checker.mode_string bound_mode;
+      box = Array.map (fun (iv : Interval.t) -> (iv.Interval.lo, iv.Interval.hi)) box;
+    }
+  in
+  let prop_hash = Certify.Certificate.property_hash ~net_hash property in
+  Option.iter Certify.Journal.init certify_dir;
+  let nodes = ref 0 in
+  let certified = ref 0 and resumed = ref 0 and degraded = ref 0 in
+  let presolved = ref 0 in
+  (* Journal entries from a previous run of the {e same} question
+     (network hash and property hash both match) whose certificate
+     still parses; anything else is re-proved, never trusted. *)
+  let settled = Hashtbl.create 8 in
+  (match certify_dir with
+   | Some dir when resume ->
+       List.iter
+         (fun (e : Certify.Journal.entry) ->
+           if e.Certify.Journal.net_hash = net_hash
+              && e.Certify.Journal.prop_hash = prop_hash
+           then
+             match e.Certify.Journal.verdict with
+             | "proved" | "disproved" -> (
+                 match e.Certify.Journal.cert_file with
+                 | None -> ()
+                 | Some name -> (
+                     match Certify.Journal.read_cert ~dir ~name with
+                     | Error _ -> ()
+                     | Ok blob -> (
+                         match Certify.Certificate.of_string blob with
+                         | Ok cert
+                           when cert.Certify.Certificate.component
+                                = e.Certify.Journal.component ->
+                             Hashtbl.replace settled
+                               e.Certify.Journal.component
+                               (e.Certify.Journal.verdict, cert)
+                         | Ok _ | Error _ -> ())))
+             | _ -> () (* an unknown is not settled: try again *))
+         (Certify.Journal.load ~dir)
+   | _ -> ());
+  let emit k verdict body =
+    match certify_dir with
+    | None -> ()
+    | Some dir ->
+        let cert =
+          {
+            Certify.Certificate.net_hash;
+            property;
+            component = k;
+            output = Nn.Gmm.mu_lat_index ~components k;
+            body;
+          }
+        in
+        (* Self-check through the exact replay the independent audit
+           runs: a certificate that would not survive the audit is
+           still written (the rejection stays explainable) but is not
+           counted as certified. *)
+        (match Certify.Audit.check_certificate net cert with
+         | Ok _ -> incr certified
+         | Error _ -> ());
+        let name = Printf.sprintf "component-%d.cert" k in
+        Certify.Journal.write_cert ~dir ~name
+          (Certify.Certificate.to_string cert);
+        Certify.Journal.append ~dir
+          {
+            Certify.Journal.component = k;
+            verdict;
+            cert_file = Some name;
+            net_hash;
+            prop_hash;
+          }
+  in
+  let journal_unknown k =
+    Option.iter
+      (fun dir ->
+        Certify.Journal.append ~dir
+          {
+            Certify.Journal.component = k;
+            verdict = "unknown";
+            cert_file = None;
+            net_hash;
+            prop_hash;
+          })
+      certify_dir
+  in
+  (* The symbolic upper bounding form is only built when some component
+     is actually discharged by presolve. *)
+  let symbolic = lazy (Absint.Symbolic.propagate net box) in
+  let model_hash =
+    lazy (Certify.Certificate.model_fingerprint enc.Encoding.Encoder.model)
+  in
+  (* One rung of the fallback ladder: a sequential, leaf-streaming
+     decision solve when certificates are wanted; the parallel solver
+     otherwise. *)
+  let run_rung ~rung_core ~rung_limit ~output k =
+    if certify_dir <> None then begin
+      let leaves = ref [] in
+      let on_leaf fixes cert =
+        let evidence =
+          match cert with
+          | Milp.Solver.Leaf_bounded y -> Certify.Certificate.Ev_bounded y
+          | Milp.Solver.Leaf_infeasible y ->
+              Certify.Certificate.Ev_infeasible y
+          | Milp.Solver.Leaf_empty_row i -> Certify.Certificate.Ev_empty_row i
+          | Milp.Solver.Leaf_uncertified reason ->
+              Certify.Certificate.Ev_unsupported reason
+        in
+        leaves :=
+          { Certify.Certificate.fixes = Array.of_list (List.rev fixes);
+            evidence }
+          :: !leaves
+      in
+      let r =
+        Milp.Solver.solve ~time_limit:rung_limit ~cutoff:threshold
+          ~branch_rule:(Milp.Solver.Priority priority)
+          ~objective:(Encoding.Encoder.output_objective enc output)
+          ~warm ?lp_core:rung_core ~on_leaf enc.Encoding.Encoder.model
+      in
+      (r, Array.of_list (List.rev !leaves))
+    end
+    else begin
+      ignore k;
+      let r =
+        Milp.Parallel.solve ~cores ~time_limit:rung_limit ~cutoff:threshold
+          ~branch_rule:(Milp.Solver.Priority priority)
+          ~objective:(Encoding.Encoder.output_objective enc output)
+          ~warm ?lp_core:rung_core enc.Encoding.Encoder.model
+      in
+      (r, [||])
+    end
+  in
+  let rec settle queue worst_bound =
+    match queue with
+    | [] ->
+        if worst_bound <= threshold then Proved
+        else Unknown { best_bound = worst_bound }
+    | k :: rest -> (
+        let output = Nn.Gmm.mu_lat_index ~components k in
+        match Hashtbl.find_opt settled k with
+        | Some ("proved", _) ->
+            incr resumed;
+            settle rest (Float.max worst_bound threshold)
+        | Some
+            ( "disproved",
+              { Certify.Certificate.body =
+                  Certify.Certificate.Witness { input; achieved = _ };
+                _ } ) ->
+            incr resumed;
+            let outputs = Nn.Network.forward net input in
+            Disproved
+              { input; outputs; achieved = outputs.(output); component = k }
+        | Some _ | None ->
+            let analysis_ub = output_upper enc output in
+            if analysis_ub <= threshold then begin
+              (* Symbolic-only rung: free, and certifiable from the
+                 analysis's own bounding hyperplane. *)
+              incr presolved;
+              (if certify_dir <> None then
+                 let coeffs, const =
+                   Absint.Symbolic.output_upper_form (Lazy.force symbolic)
+                     net ~output
+                 in
+                 emit k "proved"
+                   (Certify.Certificate.Presolve
+                      { coeffs; const; bound = analysis_ub }));
+              settle rest (Float.max worst_bound analysis_ub)
+            end
+            else begin
+              let share =
+                Float.max 0.0
+                  ((deadline -. Unix.gettimeofday ())
+                  /. float_of_int (List.length queue))
+              in
+              let share_end = Unix.gettimeofday () +. share in
+              let rungs =
+                if watchdog then
+                  [ Some Lp.Simplex.Sparse; Some Lp.Simplex.Dense ]
+                else [ lp_core ]
+              in
+              let nrungs = List.length rungs in
+              let rec ladder i = function
+                | [] -> `Exhausted
+                | rung_core :: lower ->
+                    let rung_limit =
+                      if i = nrungs - 1 then
+                        Float.max 0.0 (share_end -. Unix.gettimeofday ())
+                      else 0.6 *. share
+                    in
+                    let attempt =
+                      if watchdog then (
+                        try Some (run_rung ~rung_core ~rung_limit ~output k)
+                        with Lp.Simplex.Numerical_error _ | Failure _ ->
+                          None)
+                      else Some (run_rung ~rung_core ~rung_limit ~output k)
+                    in
+                    (match attempt with
+                     | None ->
+                         incr degraded;
+                         ladder (i + 1) lower
+                     | Some (r, leaves) -> (
+                         nodes := !nodes + r.Milp.Solver.nodes;
+                         match r.Milp.Solver.incumbent with
+                         | Some (solution, _) -> `Disproved solution
+                         | None -> (
+                             match r.Milp.Solver.outcome with
+                             | Milp.Solver.Optimal -> `Proved leaves
+                             | Milp.Solver.Time_limit | Milp.Solver.Node_limit
+                             | Milp.Solver.Infeasible ->
+                                 let bound =
+                                   Float.min r.Milp.Solver.best_bound
+                                     analysis_ub
+                                 in
+                                 if lower = [] then `Bound bound
+                                 else begin
+                                   incr degraded;
+                                   ladder (i + 1) lower
+                                 end)))
+              in
+              match ladder 0 rungs with
+              | `Proved leaves ->
+                  emit k "proved"
+                    (Certify.Certificate.Milp_tree
+                       { model_hash = Lazy.force model_hash; leaves });
+                  settle rest (Float.max worst_bound threshold)
+              | `Disproved solution ->
+                  let witness =
+                    witness_of_solution enc net ~component:k
+                      ~output_index:output solution
+                  in
+                  emit k "disproved"
+                    (Certify.Certificate.Witness
+                       {
+                         input = witness.input;
+                         achieved = witness.achieved;
+                       });
+                  Disproved witness
+              | `Bound b ->
+                  journal_unknown k;
+                  settle rest (Float.max worst_bound b)
+              | `Exhausted ->
+                  journal_unknown k;
+                  settle rest (Float.max worst_bound analysis_ub)
+            end)
+  in
+  let proof = settle (List.init components Fun.id) neg_infinity in
+  {
+    proof;
+    proof_elapsed = Unix.gettimeofday () -. started;
+    proof_nodes = !nodes;
+    presolved = !presolved;
+    certified = !certified;
+    resumed = !resumed;
+    degraded = !degraded;
+  }
+
+let prove_lateral_velocity_le ?(time_limit = 60.0)
+    ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
+    ?(cores = 1) ?portfolio ?(warm = true) ?lp_core ?certify_dir
+    ?(resume = false) ?(watchdog = false) ~components ~threshold net box =
+  if certify_dir = None && not watchdog then
+    prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
+      ~warm ~lp_core ~components ~threshold net box
+  else
+    prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core ~certify_dir
+      ~resume ~watchdog ~components ~threshold net box
 
 let sampled_max_lateral_velocity ~rng ~samples ~components net box =
   if samples <= 0 then invalid_arg "Driver.sampled_max_lateral_velocity";

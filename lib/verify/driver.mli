@@ -116,6 +116,17 @@ type proof_result = {
       (** components discharged by the incomplete pre-pass alone — their
           analysis upper bound already met the threshold, so no MILP
           search ran for them *)
+  certified : int;
+      (** components whose emitted certificate passed the in-process
+          {!Certify.Audit.check_certificate} replay; [0] without
+          [certify_dir] *)
+  resumed : int;
+      (** components skipped because a valid journal entry from a
+          previous run of the same question already settled them;
+          [0] without [resume] *)
+  degraded : int;
+      (** watchdog fallback-ladder transitions taken (a rung timed out
+          or failed numerically and the next one was tried) *)
 }
 
 val prove_lateral_velocity_le :
@@ -126,6 +137,9 @@ val prove_lateral_velocity_le :
   ?portfolio:int * int ->
   ?warm:bool ->
   ?lp_core:Lp.Simplex.core ->
+  ?certify_dir:string ->
+  ?resume:bool ->
+  ?watchdog:bool ->
   components:int ->
   threshold:float ->
   Nn.Network.t ->
@@ -141,7 +155,31 @@ val prove_lateral_velocity_le :
     discharges every component the verdict is [Proved] with
     [proof_nodes = 0]. Remaining components fall through to the cutoff
     MILP query (branch-aware symbolic pruning enabled under
-    [Symbolic_bounds]). *)
+    [Symbolic_bounds]).
+
+    [certify_dir] switches to the {e certifying} campaign: every
+    settled component writes a replayable {!Certify.Certificate} (dual
+    or Farkas evidence per branch-and-bound leaf, the symbolic bounding
+    hyperplane for presolved components, a concrete witness for
+    falsifications) plus a checksummed, fsynced journal line, so
+    [depnn audit] can re-verify the verdict with outward-rounded
+    arithmetic and a kill at any instant loses at most the component in
+    flight. Certification forces [tighten_rounds = 0] (OBBT-tightened
+    models are not independently rebuildable) and solves components
+    sequentially without the analysis node-bound hook (such prunes have
+    no replayable evidence) — certified campaigns trade speed for
+    auditability by design. [resume] (default [false]) reloads the
+    journal and skips components already settled for the {e same}
+    network content hash and property hash ([resumed] counts them);
+    entries for any other question, torn journal lines and unparseable
+    certificates are ignored and the component is re-proved.
+
+    [watchdog] (default [false], usable with or without [certify_dir])
+    runs each remaining component under its share of the deadline and
+    degrades along a fallback ladder — symbolic-only presolve, sparse
+    MILP, dense MILP, honest [Unknown] — catching per-rung numerical
+    failures instead of aborting the campaign ([degraded] counts the
+    transitions). *)
 
 val sampled_max_lateral_velocity :
   rng:Linalg.Rng.t ->

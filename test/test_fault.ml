@@ -166,6 +166,66 @@ let test_campaign_pinned_nan_fault () =
       Alcotest.(check int) "nothing escaped" 0
         r.Fault.Campaign.escaped_exceptions
 
+let test_campaign_parallel_matches_sequential () =
+  (* Faults are sampled up front and trials are independent, so the
+     work-stealing replay must reproduce the sequential tallies
+     exactly. *)
+  let net = make_net 9 8 in
+  let sc = scenes 10 15 in
+  let envelope = Guard.envelope ~components ~lat_limit:1.0 () in
+  let go cores =
+    let rng = Linalg.Rng.create 31 in
+    Fault.Campaign.run ~rng ~envelope ~cores ~scenes:sc ~trials:20 net
+  in
+  let a = go 1 and b = go 3 in
+  Alcotest.(check int) "no failed workers" 0 b.Fault.Campaign.failed_workers;
+  Alcotest.(check int) "detected" a.Fault.Campaign.detected
+    b.Fault.Campaign.detected;
+  Alcotest.(check int) "nan" a.Fault.Campaign.nan_trials
+    b.Fault.Campaign.nan_trials;
+  Alcotest.(check int) "silent" a.Fault.Campaign.silent b.Fault.Campaign.silent;
+  Alcotest.(check int) "benign" a.Fault.Campaign.benign b.Fault.Campaign.benign;
+  Alcotest.(check int) "fallbacks" a.Fault.Campaign.total_fallbacks
+    b.Fault.Campaign.total_fallbacks;
+  Alcotest.(check bool) "same fault list" true
+    (Array.for_all2
+       (fun (x : Fault.Campaign.trial) (y : Fault.Campaign.trial) ->
+         x.Fault.Campaign.fault = y.Fault.Campaign.fault)
+       a.Fault.Campaign.trials b.Fault.Campaign.trials)
+
+let test_campaign_requeues_dead_worker () =
+  (* A worker domain dies mid-campaign (the progress callback detonates
+     exactly once, inside whichever worker claims it first); the trial
+     it was running must be re-queued and finished by the parent, so the
+     tallies still match a clean sequential run. *)
+  let net = make_net 9 8 in
+  let sc = scenes 10 15 in
+  let envelope = Guard.envelope ~components ~lat_limit:1.0 () in
+  let baseline =
+    let rng = Linalg.Rng.create 31 in
+    Fault.Campaign.run ~rng ~envelope ~scenes:sc ~trials:20 net
+  in
+  let bomb = Atomic.make true in
+  let progress _ _ =
+    if Atomic.compare_and_set bomb true false then failwith "injected crash"
+  in
+  let r =
+    let rng = Linalg.Rng.create 31 in
+    Fault.Campaign.run ~rng ~envelope ~progress ~cores:2 ~scenes:sc ~trials:20
+      net
+  in
+  Alcotest.(check int) "one worker died" 1 r.Fault.Campaign.failed_workers;
+  Alcotest.(check int) "no trial dropped" 20
+    (Array.length r.Fault.Campaign.trials);
+  Alcotest.(check int) "detected matches clean run"
+    baseline.Fault.Campaign.detected r.Fault.Campaign.detected;
+  Alcotest.(check int) "nan matches clean run"
+    baseline.Fault.Campaign.nan_trials r.Fault.Campaign.nan_trials;
+  Alcotest.(check int) "silent matches clean run"
+    baseline.Fault.Campaign.silent r.Fault.Campaign.silent;
+  Alcotest.(check int) "fallbacks match clean run"
+    baseline.Fault.Campaign.total_fallbacks r.Fault.Campaign.total_fallbacks
+
 let test_campaign_reverify_sound () =
   (* Tiny network so the MILP re-verification stays fast: the empirical
      maximum over the replayed scenes must sit below the formal bound. *)
@@ -206,6 +266,9 @@ let () =
           quick "reproducible" test_campaign_reproducible;
           quick "invariants" test_campaign_invariants;
           quick "pinned nan fault" test_campaign_pinned_nan_fault;
+          quick "parallel matches sequential"
+            test_campaign_parallel_matches_sequential;
+          quick "re-queues dead worker" test_campaign_requeues_dead_worker;
           quick "reverify sound" test_campaign_reverify_sound;
         ] );
     ]
