@@ -12,6 +12,7 @@
      dune exec bench/main.exe warm       -- warm vs cold B&B pivot report
      dune exec bench/main.exe absint     -- symbolic vs interval bound report
      dune exec bench/main.exe portfolio  -- diver/prover portfolio report
+     dune exec bench/main.exe batch      -- batched vs scalar forward report
 
    [micro --json] additionally writes the ns/run numbers to
    BENCH_milp.json so successive PRs can track the perf trajectory.
@@ -23,29 +24,60 @@
      DEPNN_SAMPLES      training scenes (default 1500)
      DEPNN_EPOCHS       training epochs (default 15)
      DEPNN_CORES        worker domains for OBBT + branch & bound
-                        (default 1; the paper used a 12-core VM) *)
+                        (default 1; the paper used a 12-core VM)
+     DEPNN_BATCH        scenes per batched forward in the fault
+                        campaign (default Guard.default_batch) *)
+
+(* A malformed knob warns and falls back to the default instead of
+   aborting the whole suite with [Failure "int_of_string"] — the same
+   contract as [Milp.Parallel.cores_of_env]. *)
+let env_knob name ~describe ~parse ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match parse (String.trim s) with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "depnn-bench: ignoring malformed %s=%S (want %s); using the \
+             default\n%!"
+            name s describe;
+          default)
+
+let positive_int s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
 
 let time_limit =
-  match Sys.getenv_opt "DEPNN_TIME_LIMIT" with
-  | Some s -> float_of_string s
-  | None -> 45.0
+  env_knob "DEPNN_TIME_LIMIT" ~describe:"a positive number of seconds"
+    ~default:45.0 ~parse:(fun s ->
+      match float_of_string_opt s with
+      | Some v when v > 0.0 && Float.is_finite v -> Some v
+      | Some _ | None -> None)
 
 let cores = Milp.Parallel.cores_of_env ()
 
 let widths =
-  match Sys.getenv_opt "DEPNN_WIDTHS" with
-  | Some s -> List.map int_of_string (String.split_on_char ',' s)
-  | None -> [ 10; 20; 25; 40; 50; 60 ]
+  env_knob "DEPNN_WIDTHS" ~describe:"comma-separated positive integers"
+    ~default:[ 10; 20; 25; 40; 50; 60 ]
+    ~parse:(fun s ->
+      let parts = String.split_on_char ',' s in
+      let parsed = List.filter_map (fun p -> positive_int (String.trim p)) parts in
+      if parsed <> [] && List.length parsed = List.length parts then Some parsed
+      else None)
 
 let n_samples =
-  match Sys.getenv_opt "DEPNN_SAMPLES" with
-  | Some s -> int_of_string s
-  | None -> 1500
+  env_knob "DEPNN_SAMPLES" ~describe:"a positive integer" ~default:1500
+    ~parse:positive_int
 
 let epochs =
-  match Sys.getenv_opt "DEPNN_EPOCHS" with
-  | Some s -> int_of_string s
-  | None -> 15
+  env_knob "DEPNN_EPOCHS" ~describe:"a positive integer" ~default:15
+    ~parse:positive_int
+
+let batch =
+  env_knob "DEPNN_BATCH" ~describe:"a positive integer"
+    ~default:Guard.default_batch ~parse:positive_int
 
 let components = 3
 let seed = 7
@@ -369,11 +401,12 @@ let fault_bench () =
   Printf.printf "guarded predict         %8.0f ns/prediction (%.1f%% overhead)\n"
     (1e9 *. guarded_s /. float_of_int reps)
     (100.0 *. ((guarded_s /. raw_s) -. 1.0));
-  (* Campaign throughput: seeded end-to-end trials. *)
+  (* Campaign throughput: seeded end-to-end trials over the batched
+     replay path. *)
   let trials = 200 in
   let rng = Linalg.Rng.create (seed + 32) in
   let report =
-    Fault.Campaign.run ~rng ~envelope ~scenes ~trials net
+    Fault.Campaign.run ~rng ~envelope ~batch ~scenes ~trials net
   in
   Printf.printf
     "campaign: %d trials x %d scenes in %.2fs (%.0f guarded predictions/s)\n"
@@ -431,10 +464,112 @@ let portfolio_measurements () =
         (List.init 2 (fun k -> Nn.Gmm.mu_lat_index ~components:2 k)))
     portfolio_configs
 
+(* {1 Batched-forward throughput (shared by [batch] and micro --json)} *)
+
+(* Scalar vs cache-blocked batched forward on untrained I4xN predictors
+   (weights don't change the flop count). Best-of-five timing over whole
+   input sweeps, so packing and column extraction are charged to the
+   batched path. *)
+let batched_forward_measurements () =
+  let bf_widths = [ 10; 20; 50 ] and bf_batches = [ 32; 128; 512 ] in
+  let rng = Linalg.Rng.create 11 in
+  let inputs =
+    Array.init 512 (fun _ ->
+        Array.init 84 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+  in
+  let n = Array.length inputs in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Linalg.Mclock.now () in
+      for _ = 1 to 10 do
+        f ()
+      done;
+      best := Float.min !best (Linalg.Mclock.elapsed ~since:t0 /. 10.0)
+    done;
+    1e9 *. !best /. float_of_int n
+  in
+  List.concat_map
+    (fun width ->
+      let net = Nn.Network.i4xn ~rng:(Linalg.Rng.create (300 + width)) width in
+      ignore (Nn.Network.forward net inputs.(0));
+      let scalar_ns =
+        best_of (fun () ->
+            Array.iter (fun x -> ignore (Nn.Network.forward net x)) inputs)
+      in
+      List.map
+        (fun b ->
+          let batched_ns =
+            best_of (fun () ->
+                let off = ref 0 in
+                while !off < n do
+                  let len = min b (n - !off) in
+                  let chunk = Array.sub inputs !off len in
+                  ignore
+                    (Nn.Network.forward_batch net
+                       (Linalg.Mat.of_cols ~rows:84 chunk));
+                  off := !off + len
+                done)
+          in
+          (width, b, scalar_ns, batched_ns, scalar_ns /. batched_ns))
+        bf_batches)
+    bf_widths
+
+let batch_report () =
+  heading "Batched inference: cache-blocked forward vs the scalar path";
+  Printf.printf "%-8s %-7s %-15s %-15s %s\n" "ANN" "batch" "scalar ns/in"
+    "batched ns/in" "speedup";
+  List.iter
+    (fun (w, b, s, bt, sp) ->
+      Printf.printf "I4x%-5d %-7d %-15.0f %-15.0f %.1fx\n%!" w b s bt sp)
+    (batched_forward_measurements ());
+  (* End-to-end check: the same seeded campaign through the batched
+     replay (default) and through batch=1, which is the historical
+     scalar loop. Counts must match exactly; only wall clock moves. *)
+  let rng = Linalg.Rng.create (seed + 33) in
+  let scenes =
+    Highway.Recorder.record ~rng ~style:(Highway.Policy.Risky 0.0)
+      ~n_samples:200 ()
+    |> Array.map (fun s -> s.Highway.Recorder.features)
+  in
+  let net =
+    Nn.Network.i4xn
+      ~rng:(Linalg.Rng.create (seed + 34))
+      ~output_dim:(Nn.Gmm.output_dim ~components)
+      20
+  in
+  let envelope = Guard.envelope ~components ~lat_limit:1.5 () in
+  let campaign b =
+    Fault.Campaign.run
+      ~rng:(Linalg.Rng.create (seed + 35))
+      ~envelope ~batch:b ~scenes ~trials:50 net
+  in
+  let batched = campaign batch in
+  let scalar = campaign 1 in
+  Printf.printf
+    "\ncampaign (50 trials x 200 scenes): %.2fs batched vs %.2fs at \
+     batch=1 (%.1fx)\n"
+    batched.Fault.Campaign.elapsed scalar.Fault.Campaign.elapsed
+    (scalar.Fault.Campaign.elapsed /. batched.Fault.Campaign.elapsed);
+  let same =
+    batched.Fault.Campaign.detected = scalar.Fault.Campaign.detected
+    && batched.Fault.Campaign.nan_trials = scalar.Fault.Campaign.nan_trials
+    && batched.Fault.Campaign.silent = scalar.Fault.Campaign.silent
+    && batched.Fault.Campaign.total_fallbacks
+       = scalar.Fault.Campaign.total_fallbacks
+  in
+  Printf.printf "campaign counts identical across batch sizes: %b\n" same
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro ?(json = false) () =
   heading "Microbenchmarks (Bechamel)";
+  (* Measured before any Bechamel run: Benchmark.all leaves the
+     process's GC in a state where large short-lived arrays (the batched
+     path's matrices) allocate an order of magnitude slower, which would
+     corrupt the recorded speedups. The standalone [batch] report is
+     unaffected. *)
+  let batched_rows = if json then Some (batched_forward_measurements ()) else None in
   let open Bechamel in
   let rng = Linalg.Rng.create 1 in
   let net = Nn.Network.i4xn ~rng 20 in
@@ -690,6 +825,19 @@ let micro ?(json = false) () =
           (Encoding.Bounds.count_unstable net interval_b)
           (Encoding.Bounds.count_unstable net symbolic_b)
           (mean_width interval_b) (mean_width symbolic_b);
+        (* Batched-inference trajectory: the cache-blocked matrix kernel
+           against the scalar forward, end to end (packing included). *)
+        let bf = Option.value batched_rows ~default:[] in
+        Printf.fprintf oc "  \"batched_forward\": [\n";
+        List.iteri
+          (fun i (w, b, s, bt, sp) ->
+            Printf.fprintf oc
+              "    {\"width\": %d, \"batch\": %d, \"scalar_ns_per_input\": \
+               %.1f, \"batched_ns_per_input\": %.1f, \"speedup\": %.2f}%s\n"
+              w b s bt sp
+              (if i = List.length bf - 1 then "" else ","))
+          bf;
+        Printf.fprintf oc "  ],\n";
         (* Time-to-first-incumbent trajectory: the smoke-model portfolio
            rows, so successive PRs can compare diving against the PR-4
            sequential/best-first baselines. *)
@@ -1007,6 +1155,7 @@ let () =
    | "warm" -> warm_report ()
    | "absint" -> absint_report ()
    | "portfolio" -> portfolio_report ()
+   | "batch" -> batch_report ()
    | "all" ->
        table1 ();
        table2 ();
@@ -1018,12 +1167,13 @@ let () =
        sparse_report ();
        warm_report ();
        absint_report ();
-       portfolio_report ()
+       portfolio_report ();
+       batch_report ()
    | other ->
        Printf.eprintf
          "unknown mode %s (expected \
           table1|table2|fig1|mcdc|ablation|fault|micro|sparse|warm|absint|\
-          portfolio|all)\n"
+          portfolio|batch|all)\n"
          other;
        exit 2);
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

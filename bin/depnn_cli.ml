@@ -72,6 +72,29 @@ let portfolio_arg =
            bound). Overrides the split derived from $(b,--cores) and \
            disables the per-component query fan-out.")
 
+(* A plain [Arg.int] would accept 0 or negative sizes and only blow up
+   deep inside the replay; reject them at the usage level like the other
+   suffixed options ($(b,--portfolio), $(b,--bound-mode)). *)
+let batch_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg "expected a positive integer (columns per batched forward)")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let batch_arg =
+  Arg.(
+    value
+    & opt batch_conv Guard.default_batch
+    & info [ "batch" ] ~docv:"N"
+        ~env:(Cmd.Env.info "DEPNN_BATCH")
+        ~doc:
+          "Scenes per cache-blocked batched forward pass in replay loops \
+           (guard sanity check, fault campaign). Results are identical \
+           for every batch size; only throughput changes.")
+
 let components = 3
 
 (* {1 LP core} *)
@@ -487,7 +510,7 @@ let derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net =
       e
 
 let fault_campaign net_path seed width trials scenes lat_limit time_limit
-    cores portfolio reverify smoke =
+    cores portfolio batch reverify smoke =
   let net = load_or_synthesize net_path ~seed ~width in
   let envelope = derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net in
   let scenes = record_scenes ~seed ~n:scenes in
@@ -507,8 +530,8 @@ let fault_campaign net_path seed width trials scenes lat_limit time_limit
     end
   in
   let report =
-    Fault.Campaign.run ~rng ~envelope ~reverify ~cores ~faults ~scenes ~trials
-      net
+    Fault.Campaign.run ~rng ~envelope ~reverify ~cores ~batch ~faults ~scenes
+      ~trials net
   in
   print_string (Fault.Campaign.render report);
   if smoke then begin
@@ -577,7 +600,7 @@ let fault_campaign_cmd =
        ~doc:"Inject seeded faults and measure how the runtime guard degrades.")
     Term.(const fault_campaign $ opt_net_arg $ seed_arg $ width_arg
           $ trials_arg $ scenes_arg $ lat_limit_arg $ time_limit_arg
-          $ cores_arg $ portfolio_arg $ reverify $ smoke)
+          $ cores_arg $ portfolio_arg $ batch_arg $ reverify $ smoke)
 
 let fault_cmd =
   Cmd.group
@@ -585,7 +608,7 @@ let fault_cmd =
     [ fault_campaign_cmd ]
 
 let guard_run net_path seed width scenes lat_limit time_limit cores portfolio
-    demo_fault =
+    batch demo_fault =
   let net = load_or_synthesize net_path ~seed ~width in
   let envelope = derive_envelope ~lat_limit ~time_limit ~cores ~portfolio net in
   let scenes = record_scenes ~seed ~n:scenes in
@@ -603,15 +626,12 @@ let guard_run net_path seed width scenes lat_limit time_limit cores portfolio
     end
   in
   let guard = Guard.make ~envelope subject in
-  Array.iter
-    (fun scene ->
-      let input =
-        match channel with
-        | Some ch -> Fault.Model.corrupt ch scene
-        | None -> scene
-      in
-      ignore (Guard.predict guard input))
-    scenes;
+  let inputs =
+    match channel with
+    | Some ch -> Array.map (Fault.Model.corrupt ch) scenes
+    | None -> scenes
+  in
+  ignore (Guard.predict_batch ~batch guard inputs);
   print_string (Guard.render_diagnostics (Guard.diagnostics guard))
 
 let guard_cmd =
@@ -628,11 +648,11 @@ let guard_cmd =
           diagnostics.")
     Term.(const guard_run $ opt_net_arg $ seed_arg $ width_arg $ scenes_arg
           $ lat_limit_arg $ time_limit_arg $ cores_arg $ portfolio_arg
-          $ demo_fault)
+          $ batch_arg $ demo_fault)
 
 (* {1 certify} *)
 
-let certify seed width samples epochs cores portfolio =
+let certify seed width samples epochs cores portfolio batch =
   let config =
     {
       (Pipeline.default_config ~width ~seed ()) with
@@ -640,6 +660,7 @@ let certify seed width samples epochs cores portfolio =
       epochs;
       verify_cores = cores;
       verify_portfolio = portfolio;
+      batch;
     }
   in
   let artifacts = Pipeline.run ~progress:print_endline config in
@@ -659,7 +680,7 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify" ~doc:"Run the full three-pillar certification pipeline.")
     Term.(const certify $ seed_arg $ width_arg $ samples_arg $ epochs_arg
-          $ cores_arg $ portfolio_arg)
+          $ cores_arg $ portfolio_arg $ batch_arg)
 
 let () =
   let doc = "dependable neural networks for safety-critical applications" in

@@ -11,6 +11,7 @@ type config = {
   verify_time_limit : float;
   verify_cores : int;
   verify_portfolio : (int * int) option;
+  batch : int;
 }
 
 let default_config ?(width = 10) ?(seed = 7) () =
@@ -27,6 +28,7 @@ let default_config ?(width = 10) ?(seed = 7) () =
     verify_time_limit = 60.0;
     verify_cores = 1;
     verify_portfolio = None;
+    batch = Guard.default_batch;
   }
 
 type artifacts = {
@@ -108,9 +110,8 @@ let run ?(progress = fun _ -> ()) config =
      verifier just proved. This is the same guard the deployment path
      wraps around the predictor. *)
   let guard = Guard.make ~envelope:guard_envelope net in
-  Array.iter
-    (fun scene -> ignore (Guard.predict guard scene))
-    clean.Dataset.inputs;
+  ignore
+    (Guard.predict_batch ~batch:config.batch guard clean.Dataset.inputs);
   let guard_check = Guard.diagnostics guard in
   progress
     (Printf.sprintf "  %d/%d scenes nominal under lat limit %.3f m/s"

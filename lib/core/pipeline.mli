@@ -32,12 +32,16 @@ type config = {
       (** explicit diver:prover split for the MILP queries
           ({!Milp.Parallel.solve}); [None] derives the split from
           [verify_cores] *)
+  batch : int;
+      (** scenes per cache-blocked batched forward in the guard sanity
+          replay (and the campaign, when the CLI threads it through) *)
 }
 
 val default_config : ?width:int -> ?seed:int -> unit -> config
 (** width 10, seed 7, 3 components, 1500 samples, 25% blind-spot rate,
     30 epochs, slack 0.03, threshold 1.5 m/s, 60 s verification limit,
-    1 verification core, no explicit portfolio split. *)
+    1 verification core, no explicit portfolio split, batch
+    {!Guard.default_batch}. *)
 
 type artifacts = {
   used : config;

@@ -182,7 +182,7 @@ let build net box (bounds : Bounds.t) =
    copy's objective), so with [cores > 1] they fan out across a domain
    pool; the shared model is never mutated. *)
 let refine_bounds_lp ?(budget = infinity) ?(cores = 1) ?lp_core t net box =
-  let started = Unix.gettimeofday () in
+  let started = Linalg.Mclock.now () in
   let lp = Milp.Model.lp t.model in
   let nlayers = Nn.Network.num_layers net in
   let pre = Array.map Array.copy t.bounds.Bounds.pre in
@@ -209,7 +209,7 @@ let refine_bounds_lp ?(budget = infinity) ?(cores = 1) ?lp_core t net box =
      an operator tuning signal (raise the budget), failed OBBT is a
      solver health signal. Both leave the interval bound in place. *)
   let probe problem (li, r, z) =
-    if Unix.gettimeofday () -. started >= budget then `Skipped_budget
+    if Linalg.Mclock.now () -. started >= budget then `Skipped_budget
     else begin
       Lp.Problem.set_objective problem [ (z, 1.0) ];
       let up = Lp.Simplex.solve ?core:lp_core problem in
@@ -289,7 +289,7 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
           invalid_arg "Encoder.encode: box exceeds the coarse radius";
         Bounds.coarse net ~radius
   in
-  let started = Unix.gettimeofday () in
+  let started = Linalg.Mclock.now () in
   let acc = ref no_obbt in
   (* Exhausted budget still runs the round: every remaining probe then
      reports [skipped_budget], so the caller can tell truncated OBBT
@@ -297,7 +297,7 @@ let encode ?(bound_mode = Interval_bounds) ?(tighten_rounds = 0)
   let rec tighten rounds t =
     if rounds <= 0 then t
     else begin
-      let remaining = tighten_budget -. (Unix.gettimeofday () -. started) in
+      let remaining = tighten_budget -. (Linalg.Mclock.now () -. started) in
       let refined, stats =
         refine_bounds_lp ~budget:(Float.max 0.0 remaining) ~cores ?lp_core t
           net box

@@ -51,19 +51,69 @@ let worst_component_lat ~components out =
    see? *)
 type raw_verdict = Raw_nan | Raw_finite of float
 
+let raw_classify ~components out =
+  if Array.exists (fun x -> not (Float.is_finite x)) out then Raw_nan
+  else begin
+    match Nn.Gmm.decode ~components out with
+    | exception _ -> Raw_nan
+    | mixture ->
+        let lat, lon = Nn.Gmm.mean mixture in
+        if not (Float.is_finite lat && Float.is_finite lon) then Raw_nan
+        else Raw_finite (worst_component_lat ~components out)
+  end
+
 let raw_eval ~components net input =
   match Nn.Network.forward net input with
   | exception _ -> Raw_nan
-  | out ->
-      if Array.exists (fun x -> not (Float.is_finite x)) out then Raw_nan
-      else begin
-        match Nn.Gmm.decode ~components out with
-        | exception _ -> Raw_nan
-        | mixture ->
-            let lat, lon = Nn.Gmm.mean mixture in
-            if not (Float.is_finite lat && Float.is_finite lon) then Raw_nan
-            else Raw_finite (worst_component_lat ~components out)
-      end
+  | out -> raw_classify ~components out
+
+(* Chunked batched forward shared by the reference sweep and the replay:
+   every network output is classified with [of_out] in scene order;
+   [scalar] takes over per input when the batched forward raises (a
+   corrupted weight can blow up mid-kernel) or when an input has the
+   wrong arity and cannot be packed into a column, so the verdicts are
+   always the ones the scalar loop would have produced. *)
+let map_forward_batch ~batch net ~of_out ~scalar inputs =
+  let n = Array.length inputs in
+  let in_dim = Nn.Network.input_dim net in
+  if Array.exists (fun x -> Array.length x <> in_dim) inputs then
+    Array.map scalar inputs
+  else begin
+    let batch = max 1 batch in
+    let out = Array.make n None in
+    let off = ref 0 in
+    while !off < n do
+      let len = min batch (n - !off) in
+      let chunk = Array.sub inputs !off len in
+      (match
+         Nn.Network.forward_batch net (Linalg.Mat.of_cols ~rows:in_dim chunk)
+       with
+      | y ->
+          for j = 0 to len - 1 do
+            out.(!off + j) <- Some (of_out (Linalg.Mat.col y j))
+          done
+      | exception _ ->
+          for j = 0 to len - 1 do
+            out.(!off + j) <- Some (scalar chunk.(j))
+          done);
+      off := !off + len
+    done;
+    Array.map Option.get out
+  end
+
+let raw_eval_batch ~components ~batch net inputs =
+  map_forward_batch ~batch net inputs
+    ~of_out:(raw_classify ~components)
+    ~scalar:(raw_eval ~components net)
+
+(* Clean-predictor reference lateral action, for the silent-corruption
+   test; anything non-finite (or a raised forward) references as 0. *)
+let reference_lat_of_out ~components out =
+  match Nn.Gmm.decode ~components out with
+  | exception _ -> 0.0
+  | mixture ->
+      let lat, _ = Nn.Gmm.mean mixture in
+      if Float.is_finite lat then lat else 0.0
 
 let network_params_finite net =
   let ok = ref true in
@@ -121,25 +171,19 @@ let find_nan_fault ~components ~scenes net =
 
 let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
     ?(reverify_time_limit = 5.0) ?(progress = fun _ _ -> ()) ?(cores = 1)
-    ?(faults = []) ~scenes ~trials net =
+    ?(batch = Guard.default_batch) ?(faults = []) ~scenes ~trials net =
   if Array.length scenes = 0 then invalid_arg "Campaign.run: no scenes";
   if trials <= 0 && faults = [] then
     invalid_arg "Campaign.run: trials must be positive";
   let components = envelope.Guard.components in
-  let start = Unix.gettimeofday () in
-  (* Clean-predictor reference actions, for the silent-corruption test. *)
+  let start = Linalg.Mclock.now () in
   let reference_lat =
-    Array.map
-      (fun s ->
+    map_forward_batch ~batch net scenes
+      ~of_out:(reference_lat_of_out ~components)
+      ~scalar:(fun s ->
         match Nn.Network.forward net s with
         | exception _ -> 0.0
-        | out -> (
-            match Nn.Gmm.decode ~components out with
-            | exception _ -> 0.0
-            | mixture ->
-                let lat, _ = Nn.Gmm.mean mixture in
-                if Float.is_finite lat then lat else 0.0))
-      scenes
+        | out -> reference_lat_of_out ~components out)
   in
   (* The explicit faults run first, then the sampled ones; sampling is
      sequential so the campaign stays bit-reproducible from the seed. *)
@@ -163,19 +207,40 @@ let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
     let nan_raw = ref false and nan_all_tripped = ref true in
     let violation_raw = ref false and violation_all_flagged = ref true in
     let max_deviation = ref 0.0 in
+    let inputs =
+      match channel with
+      | Some ch -> Array.map (Model.corrupt ch) scenes
+      | None -> scenes
+    in
+    (* Unguarded raws first, guarded replay second: [raw_eval] never
+       touches the guard, so splitting the historically interleaved
+       per-scene loop into two batched sweeps observes the same values
+       and updates the same counters in the same scene order. *)
+    let raws = raw_eval_batch ~components ~batch faulted_net inputs in
+    let preds =
+      match Guard.predict_batch ~batch guard inputs with
+      | ps -> Array.map Option.some ps
+      | exception _ ->
+          (* [predict_batch] shares [predict]'s never-raise contract; if
+             it is ever broken, classify scene by scene exactly as the
+             scalar loop did: a raising scene is counted as escaped and
+             contributes nothing else. *)
+          Array.map
+            (fun input ->
+              match Guard.predict guard input with
+              | r -> Some r
+              | exception _ ->
+                  escaped := true;
+                  None)
+            inputs
+    in
     Array.iteri
-      (fun si scene ->
-        let input =
-          match channel with
-          | Some ch -> Model.corrupt ch scene
-          | None -> scene
-        in
-        let raw = raw_eval ~components faulted_net input in
-        match Guard.predict guard input with
-        | exception _ -> escaped := true
-        | (glat, _glon), state ->
+      (fun si pred ->
+        match pred with
+        | None -> ()
+        | Some ((glat, _glon), state) ->
             if state <> Guard.Nominal then detected := true;
-            (match raw with
+            (match raws.(si) with
              | Raw_nan ->
                  nan_raw := true;
                  if state <> Guard.Fallback then nan_all_tripped := false
@@ -187,7 +252,7 @@ let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
             let dev = Float.abs (glat -. reference_lat.(si)) in
             if Float.is_finite dev && dev > !max_deviation then
               max_deviation := dev)
-      scenes;
+      preds;
     let d = Guard.diagnostics guard in
     {
       fault;
@@ -305,7 +370,7 @@ let run ~rng ~envelope ?clamp_band ?(silent_tolerance = 0.05) ?(reverify = 0)
       Array.fold_left (fun n t -> n + t.fallbacks) 0 trial_results;
     failed_workers = !failed_workers;
     reverified;
-    elapsed = Unix.gettimeofday () -. start;
+    elapsed = Linalg.Mclock.elapsed ~since:start;
   }
 
 let percent num den =

@@ -81,6 +81,7 @@ val run :
   ?reverify_time_limit:float ->
   ?progress:(int -> Model.t -> unit) ->
   ?cores:int ->
+  ?batch:int ->
   ?faults:Model.t list ->
   scenes:Linalg.Vec.t array ->
   trials:int ->
@@ -98,7 +99,11 @@ val run :
     worker domain that dies (an exception escaping a trial) is counted
     in [failed_workers] and its unfinished trials are {e re-queued} and
     run in the parent rather than silently dropped, mirroring
-    {!Milp.Parallel}'s degradation. [faults] are explicit faults run as
+    {!Milp.Parallel}'s degradation. [batch] (default
+    {!Guard.default_batch}) is how many scenes each replay sweep packs
+    into one cache-blocked batched forward; verdicts, counters and
+    deviations are identical for every batch size — the scalar loop is
+    the [batch = 1] special case. [faults] are explicit faults run as
     the first trials (in addition to the [trials] sampled ones) — the
     CI smoke uses this to pin a known NaN-producing flip. Raises
     [Invalid_argument] when [scenes] is empty or when there is nothing

@@ -179,16 +179,20 @@ let run_fallback t x =
   | lat, lon -> (finite_or 0.0 lat, finite_or 0.0 lon)
   | exception _ -> (0.0, 0.0)
 
-let predict t x =
+(* Classification given the raw forward output (or the exception the
+   forward pass raised). Shared verbatim between the scalar [predict]
+   and the batched [predict_batch], so both update the counters and trip
+   records identically for the same network output. *)
+let with_output t x out_result =
   t.c.predictions <- t.c.predictions + 1;
   let trip reason =
     t.c.last_trip <- Some reason;
     (run_fallback t x, Fallback)
   in
   match
-    let out = Nn.Network.forward t.net x in
-    let mixture = Nn.Gmm.decode ~components:t.env.components out in
-    (out, mixture)
+    match out_result with
+    | Error e -> raise e
+    | Ok out -> (out, Nn.Gmm.decode ~components:t.env.components out)
   with
   | exception e ->
       t.c.exception_trips <- t.c.exception_trips + 1;
@@ -233,6 +237,49 @@ let predict t x =
             t.c.nominal <- t.c.nominal + 1;
             ((lat, lon), Nominal)
           end)
+
+let predict t x =
+  with_output t x (match Nn.Network.forward t.net x with
+                   | out -> Ok out
+                   | exception e -> Error e)
+
+let default_batch = 128
+
+let predict_batch ?(batch = default_batch) t xs =
+  let n = Array.length xs in
+  let in_dim = Nn.Network.input_dim t.net in
+  if n = 0 then [||]
+  else if not (Array.for_all (fun x -> Array.length x = in_dim) xs) then
+    (* A malformed input would make the scalar forward raise per input;
+       process the whole set scalar so every input trips (or not)
+       exactly as [predict] would, in order. *)
+    Array.map (fun x -> predict t x) xs
+  else begin
+    let batch = max 1 batch in
+    let results = Array.make n ((0.0, 0.0), Fallback) in
+    let off = ref 0 in
+    while !off < n do
+      let len = min batch (n - !off) in
+      let chunk = Array.sub xs !off len in
+      (match
+         Nn.Network.forward_batch t.net (Linalg.Mat.of_cols ~rows:in_dim chunk)
+       with
+      | y ->
+          for j = 0 to len - 1 do
+            results.(!off + j) <-
+              with_output t chunk.(j) (Ok (Linalg.Mat.col y j))
+          done
+      | exception _ ->
+          (* Defensive: the batched kernel should never raise on
+             dimension-checked inputs, but the guard's contract is
+             "never raises" — fall back to the scalar path. *)
+          for j = 0 to len - 1 do
+            results.(!off + j) <- predict t chunk.(j)
+          done);
+      off := !off + len
+    done;
+    results
+  end
 
 let render_diagnostics (d : diagnostics) =
   let buf = Buffer.create 256 in

@@ -97,6 +97,20 @@ val predict : t -> Linalg.Vec.t -> (float * float) * state
 (** [(lat, lon), state]: the (possibly clamped or fallback) action mean.
     Never raises; both action components are always finite. *)
 
+val default_batch : int
+(** Columns per batched forward chunk when [?batch] is omitted (128):
+    large enough to amortise packing, small enough to keep the widest
+    bench layer's working set in L2. *)
+
+val predict_batch :
+  ?batch:int -> t -> Linalg.Vec.t array -> ((float * float) * state) array
+(** [predict_batch t xs] evaluates every input through the batched
+    forward path ([batch] columns at a time, default 128) and classifies
+    each column with the same logic, in input order — results, counters
+    and [last_trip] are identical to mapping {!predict}, at roughly an
+    order of magnitude higher throughput. NaN/Inf cannot leak between
+    samples: matrix columns are independent. Never raises. *)
+
 val diagnostics : t -> diagnostics
 val reset : t -> unit
 (** Zero the counters and clear [last_trip]. *)

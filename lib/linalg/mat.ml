@@ -31,9 +31,24 @@ let of_rows r =
     init rows cols (fun i j -> r.(i).(j))
   end
 
+external pack_cols_stub : Vec.t array -> float array -> int -> int -> unit
+  = "depnn_mat_pack_cols"
+[@@noalloc]
+
+let of_cols ~rows vs =
+  let n = Array.length vs in
+  Array.iter
+    (fun v ->
+      if Array.length v <> rows then invalid_arg "Mat.of_cols: ragged columns")
+    vs;
+  let data = Array.make (rows * n) 0.0 in
+  if rows > 0 && n > 0 then pack_cols_stub vs data rows n;
+  { rows; cols = n; data }
+
 let copy m = { m with data = Array.copy m.data }
 let rows m = m.rows
 let cols m = m.cols
+let data m = m.data
 
 let get m i j = m.data.((i * m.cols) + j)
 let set m i j x = m.data.((i * m.cols) + j) <- x
@@ -64,32 +79,84 @@ let mul_vec m x =
 let mul_vec_transpose m y =
   if Array.length y <> m.rows then
     invalid_arg "Mat.mul_vec_transpose: dimension mismatch";
+  (* No [yi <> 0.0] short-circuit: skipping a zero coefficient would
+     also skip [0.0 *. nan], silently suppressing NaN propagation from
+     [m] (same bug class as the one fixed in [mul]). *)
   let x = Array.make m.cols 0.0 in
   for i = 0 to m.rows - 1 do
     let base = i * m.cols in
     let yi = y.(i) in
-    if yi <> 0.0 then
-      for j = 0 to m.cols - 1 do
-        x.(j) <- x.(j) +. (m.data.(base + j) *. yi)
-      done
+    for j = 0 to m.cols - 1 do
+      x.(j) <- x.(j) +. (m.data.(base + j) *. yi)
+    done
   done;
   x
 
-let mul a b =
+let mul_naive a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  (* Reference kernel and qcheck oracle for the blocked [mul_into].
+     The historical [if aik <> 0.0] sparsity short-circuit is gone: it
+     suppressed NaN/inf propagation from [b] (0 * nan must be nan under
+     the library's fail-fast contracts). *)
   let c = zeros a.rows b.cols in
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
-      if aik <> 0.0 then
-        for j = 0 to b.cols - 1 do
-          set c i j (get c i j +. (aik *. get b k j))
-        done
+      for j = 0 to b.cols - 1 do
+        set c i j (get c i j +. (aik *. get b k j))
+      done
     done
   done;
   c
 
+(* Cache-blocked product kernel (mat_stubs.c). Accumulates each output
+   element in ascending-k order with separate multiply and add per term,
+   so results are bit-identical to [mul_naive] and to column-wise
+   [mul_vec] — the batched-vs-scalar parity tests rely on this. *)
+external mul_into_stub :
+  float array -> float array -> float array -> int -> int -> int -> unit
+  = "depnn_mat_mul_into_byte" "depnn_mat_mul_into"
+[@@noalloc]
+
+let mul_into ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul_into: dimension mismatch";
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Mat.mul_into: destination shape mismatch";
+  if dst.data == a.data || dst.data == b.data then
+    invalid_arg "Mat.mul_into: destination aliases an operand";
+  Array.fill dst.data 0 (Array.length dst.data) 0.0;
+  if a.rows > 0 && a.cols > 0 && b.cols > 0 then
+    mul_into_stub a.data b.data dst.data a.rows a.cols b.cols
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  (* A fresh [zeros] is already zero-filled, so call the kernel directly
+     rather than paying [mul_into]'s refill. *)
+  let dst = zeros a.rows b.cols in
+  if a.rows > 0 && a.cols > 0 && b.cols > 0 then
+    mul_into_stub a.data b.data dst.data a.rows a.cols b.cols;
+  dst
+
+external add_col_broadcast_stub : float array -> float array -> int -> int -> unit
+  = "depnn_mat_add_col_broadcast"
+[@@noalloc]
+
+let add_col_broadcast m v =
+  if Array.length v <> m.rows then
+    invalid_arg "Mat.add_col_broadcast: dimension mismatch";
+  if m.rows > 0 && m.cols > 0 then
+    add_col_broadcast_stub m.data v m.rows m.cols
+
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let row_sums m =
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. Array.unsafe_get m.data (base + j)
+      done;
+      !acc)
 
 let zip name f a b =
   if a.rows <> b.rows || a.cols <> b.cols then

@@ -9,9 +9,20 @@ val init : int -> int -> (int -> int -> float) -> t
 val of_rows : float array array -> t
 (** Copies its argument; rows must all have the same length. *)
 
+val of_cols : rows:int -> Vec.t array -> t
+(** [of_cols ~rows vs] packs [vs] as the columns of a [rows x length vs]
+    matrix (the columns-as-samples layout of the batched forward path).
+    Copies its argument; every vector must have dimension [rows]. An
+    empty array yields a [rows x 0] matrix. *)
+
 val copy : t -> t
 val rows : t -> int
 val cols : t -> int
+
+val data : t -> float array
+(** The underlying row-major storage: element [(i, j)] lives at index
+    [i * cols + j]. Exposed for allocation-free kernels (vectorised
+    activations, bias broadcast); mutating it mutates the matrix. *)
 
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
@@ -31,6 +42,26 @@ val mul_vec_transpose : t -> Vec.t -> Vec.t
 (** [mul_vec_transpose m y] is [mᵀ y]. *)
 
 val mul : t -> t -> t
+(** Matrix product via the cache-blocked kernel. Bit-identical to
+    {!mul_naive} (ascending-k accumulation, no FMA contraction), so the
+    batched forward path agrees with the scalar path to the last bit. *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** [mul_into ~dst a b] computes [a * b] into the caller-owned [dst]
+    without allocating. [dst] must have shape [rows a x cols b] and may
+    not alias an operand; its previous contents are overwritten. *)
+
+val mul_naive : t -> t -> t
+(** Reference triple-loop product — the qcheck oracle for {!mul}. *)
+
+val add_col_broadcast : t -> Vec.t -> unit
+(** [add_col_broadcast m v] adds [v] to every column of [m] in place
+    ([m.(i).(j) <- m.(i).(j) +. v.(i)]) — the batched bias term. *)
+
+val row_sums : t -> Vec.t
+(** Per-row sum over columns, accumulated in ascending column order —
+    the batched reduction of per-sample bias gradients. *)
+
 val transpose : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t

@@ -1,0 +1,179 @@
+/* Cache-blocked matrix-matrix kernel behind Mat.mul_into.
+ *
+ * OCaml float arrays are flat unboxed double arrays, so a non-empty
+ * [float array] can be handed to C as a plain [double *] with no
+ * copying.  The caller (mat.ml) guarantees:
+ *   - all three arrays are non-empty (m, k, n >= 1),
+ *   - c aliases neither a nor b,
+ *   - c is zero-initialised,
+ * and performs all dimension checks, so this kernel is pure arithmetic.
+ *
+ * Bit-exactness contract: for every output element c[i][j] the products
+ * a[i][p] * b[p][j] are accumulated in strictly ascending p order with a
+ * separate multiply and add per term — the same operation sequence as
+ * the scalar Mat.mul_vec / Mat.mul_naive loops.  The j-loop is the one
+ * the compiler vectorises, which reorders nothing within an element's
+ * sum; fused multiply-add contraction is disabled in the dune C flags
+ * (-ffp-contract=off) so SIMD lanes round exactly like the scalar code.
+ * This is what lets the qcheck parity suite demand <= 1 ulp (in practice
+ * equality) between batched and scalar forward passes.
+ *
+ * Blocking: the j (output column) dimension is tiled so that the slice
+ * of b touched by one (i, p) sweep stays resident in cache while every
+ * row of a reuses it; for the bench networks (k <= 84) a whole k x JB
+ * panel of b fits in L2.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/fail.h>
+
+#define DEPNN_VEC 8
+
+/* Generic rank-update kernel over a column range [jlo, jhi): c must be
+ * zero (or hold a partial sum) on entry. Used for the column tail the
+ * register micro-kernel below does not cover. */
+static void depnn_mul_tail(const double *restrict a,
+                           const double *restrict b,
+                           double *restrict c,
+                           long m, long k, long n, long jlo, long jhi)
+{
+  for (long i = 0; i < m; i++) {
+    const double *arow = a + i * k;
+    double *crow = c + i * n;
+    for (long p = 0; p < k; p++) {
+      double aip = arow[p];
+      const double *brow = b + p * n;
+      for (long j = jlo; j < jhi; j++)
+        crow[j] += aip * brow[j];
+    }
+  }
+}
+
+/* Register micro-kernel: a 4-row x 8-column accumulator tile lives in
+ * vector registers across the whole k loop and is stored exactly once,
+ * so the inner loop does one b load + four broadcasts + eight FP ops
+ * per 32 MACs — no c traffic, no store-forwarding hazards. Plain C
+ * accumulator arrays end up on the stack (gcc will not promote them),
+ * so the tile uses GCC/Clang vector extensions; element-wise vector
+ * arithmetic rounds exactly like scalar IEEE mul/add. Each accumulator
+ * starts at literal 0.0 and sums a[i][p] * b[p][j] in strictly
+ * ascending p, which is the scalar mul_vec recurrence verbatim, so the
+ * stored value is bit-identical to the scalar path (including the sign
+ * of zero). */
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef double v8d
+    __attribute__((vector_size(8 * sizeof(double)), aligned(8), may_alias));
+
+static void depnn_mul_kernel(const double *restrict a,
+                             const double *restrict b,
+                             double *restrict c,
+                             long m, long k, long n)
+{
+  long j0 = 0;
+  for (; j0 + DEPNN_VEC <= n; j0 += DEPNN_VEC) {
+    long i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double *a0 = a + i * k, *a1 = a0 + k, *a2 = a1 + k, *a3 = a2 + k;
+      v8d acc0 = {0.0}, acc1 = {0.0}, acc2 = {0.0}, acc3 = {0.0};
+      for (long p = 0; p < k; p++) {
+        const v8d x = *(const v8d *) (b + p * n + j0);
+        acc0 += a0[p] * x;
+        acc1 += a1[p] * x;
+        acc2 += a2[p] * x;
+        acc3 += a3[p] * x;
+      }
+      double *c0 = c + i * n + j0;
+      *(v8d *) c0 = acc0;
+      *(v8d *) (c0 + n) = acc1;
+      *(v8d *) (c0 + 2 * n) = acc2;
+      *(v8d *) (c0 + 3 * n) = acc3;
+    }
+    for (; i < m; i++) {
+      const double *arow = a + i * k;
+      v8d acc = {0.0};
+      for (long p = 0; p < k; p++)
+        acc += arow[p] * *(const v8d *) (b + p * n + j0);
+      *(v8d *) (c + i * n + j0) = acc;
+    }
+  }
+  if (j0 < n)
+    depnn_mul_tail(a, b, c, m, k, n, j0, n);
+}
+
+#else
+
+static void depnn_mul_kernel(const double *restrict a,
+                             const double *restrict b,
+                             double *restrict c,
+                             long m, long k, long n)
+{
+  depnn_mul_tail(a, b, c, m, k, n, 0, n);
+}
+
+#endif
+
+CAMLprim value depnn_mat_mul_into(value va, value vb, value vc,
+                                  value vm, value vk, value vn)
+{
+  depnn_mul_kernel((const double *) Bp_val(va),
+                   (const double *) Bp_val(vb),
+                   (double *) Bp_val(vc),
+                   Long_val(vm), Long_val(vk), Long_val(vn));
+  return Val_unit;
+}
+
+CAMLprim value depnn_mat_mul_into_byte(value *argv, int argn)
+{
+  (void) argn;
+  return depnn_mat_mul_into(argv[0], argv[1], argv[2],
+                            argv[3], argv[4], argv[5]);
+}
+
+/* c[i][j] += bias[i] — the batched bias broadcast. Adding after the
+ * full ascending-k sum mirrors the scalar pre_activation order
+ * (mul_vec then axpy). */
+CAMLprim value depnn_mat_add_col_broadcast(value vc, value vbias,
+                                           value vm, value vn)
+{
+  double *c = (double *) Bp_val(vc);
+  const double *bias = (const double *) Bp_val(vbias);
+  long m = Long_val(vm), n = Long_val(vn);
+  for (long i = 0; i < m; i++) {
+    double bi = bias[i];
+    double *crow = c + i * n;
+    for (long j = 0; j < n; j++)
+      crow[j] += bi;
+  }
+  return Val_unit;
+}
+
+/* Gather a caml array of float arrays (one sample per entry) into the
+ * columns of row-major storage: data[i*n + j] = vs[j][i]. No
+ * allocation, so the arrays cannot move mid-call. */
+CAMLprim value depnn_mat_pack_cols(value vvs, value vdata,
+                                   value vrows, value vn)
+{
+  long rows = Long_val(vrows), n = Long_val(vn);
+  double *data = (double *) Bp_val(vdata);
+  for (long i = 0; i < rows; i++) {
+    double *drow = data + i * n;
+    for (long j = 0; j < n; j++)
+      drow[j] = ((const double *) Bp_val(Field(vvs, j)))[i];
+  }
+  return Val_unit;
+}
+
+/* In-place vectorised ReLU with Float.max-compatible semantics:
+ * max 0. x keeps NaN (and maps -0. to +0.), so the ternary chain below
+ * is bit-equal to OCaml's Float.max 0.0 x for every input. */
+CAMLprim value depnn_relu_in_place(value vd, value vn)
+{
+  double *d = (double *) Bp_val(vd);
+  long n = Long_val(vn);
+  for (long i = 0; i < n; i++) {
+    double x = d[i];
+    d[i] = x > 0.0 ? x : (x == x ? 0.0 : x);
+  }
+  return Val_unit;
+}

@@ -1,0 +1,5 @@
+external now : unit -> (float[@unboxed])
+  = "depnn_mclock_now_byte" "depnn_mclock_now_unboxed"
+[@@noalloc]
+
+let elapsed ~since = Float.max 0.0 (now () -. since)

@@ -1,0 +1,17 @@
+(** Monotonic time for deadline arithmetic.
+
+    Every [time_limit] in the solver stack used to be enforced by
+    subtracting two [Unix.gettimeofday] samples; an NTP step between the
+    samples could make elapsed time negative or spuriously exhaust a
+    budget. [now] reads [CLOCK_MONOTONIC], which never steps, so
+    [now () -. started] is a true duration. The origin is arbitrary
+    (typically boot time): only differences are meaningful — never mix
+    [now] with wall-clock stamps. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary fixed origin. *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since] is [max 0 (now () -. since)] — a duration that is
+    non-negative even if [since] was sampled on another domain with a
+    marginally different view of the clock. *)

@@ -1,0 +1,23 @@
+/* Monotonic clock for deadline arithmetic (Mclock).
+ *
+ * CLOCK_MONOTONIC never steps when NTP adjusts the wall clock, so
+ * [now () -. started] is always >= 0 and time budgets cannot be blown
+ * (or turned negative) by a clock correction mid-solve.
+ */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+double depnn_mclock_now_unboxed(value unit)
+{
+  (void) unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double) ts.tv_sec + 1e-9 * (double) ts.tv_nsec;
+}
+
+CAMLprim value depnn_mclock_now_byte(value unit)
+{
+  return caml_copy_double(depnn_mclock_now_unboxed(unit));
+}

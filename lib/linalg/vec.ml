@@ -10,6 +10,12 @@ let dim = Array.length
 let get (v : t) i = v.(i)
 let set (v : t) i x = v.(i) <- x
 
+external relu_in_place_stub : float array -> int -> unit
+  = "depnn_relu_in_place"
+[@@noalloc]
+
+let relu_in_place (v : t) = relu_in_place_stub v (Array.length v)
+
 let check_dims name a b =
   if Array.length a <> Array.length b then
     invalid_arg

@@ -16,6 +16,11 @@ val dim : t -> int
 val get : t -> int -> float
 val set : t -> int -> float -> unit
 
+val relu_in_place : t -> unit
+(** [v.(i) <- Float.max 0.0 v.(i)] for every element, via a vectorised
+    kernel with Float.max's exact semantics (NaN kept, [-0.] to [+0.]).
+    Backs the batched ReLU in [Nn.Activation]. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

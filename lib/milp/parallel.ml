@@ -179,7 +179,7 @@ let solve ?(cores = 1) ?portfolio ?(time_limit = infinity)
       let workers = divers + provers in
       let base = Model.lp model in
       let ints = Model.integer_vars model in
-      let start = Unix.gettimeofday () in
+      let start = Linalg.Mclock.now () in
       let pool = Search.Heap.create () in
       Search.Heap.push pool Search.root;
       let mutex = Mutex.create () in
@@ -211,7 +211,7 @@ let solve ?(cores = 1) ?portfolio ?(time_limit = infinity)
                first-incumbent stamp has a single writer. *)
             if cur = None then
               Atomic.set first
-                (Some (Atomic.get nodes, Unix.gettimeofday () -. start))
+                (Some (Atomic.get nodes, Linalg.Mclock.now () -. start))
           end
           else offer point value
       in
@@ -357,7 +357,7 @@ let solve ?(cores = 1) ?portfolio ?(time_limit = infinity)
               Mutex.unlock mutex
           | Some node ->
               Mutex.unlock mutex;
-              if Unix.gettimeofday () -. start > time_limit then
+              if Linalg.Mclock.now () -. start > time_limit then
                 abort node (Some Time_limit)
               else if Atomic.get nodes >= node_limit then
                 abort node (Some Node_limit)
@@ -429,7 +429,7 @@ let solve ?(cores = 1) ?portfolio ?(time_limit = infinity)
         incumbent;
         best_bound;
         nodes = Atomic.get nodes;
-        elapsed = Unix.gettimeofday () -. start;
+        elapsed = Linalg.Mclock.now () -. start;
         lp_iterations = Atomic.get lp_iters;
         failed_workers = !failed;
         first_incumbent_nodes = Option.map fst (Atomic.get first);

@@ -29,7 +29,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     ?(warm = true) ?lp_core ?on_leaf model =
   let base = Model.lp model in
   let ints = Model.integer_vars model in
-  let start = Unix.gettimeofday () in
+  let start = Linalg.Mclock.now () in
   (* One copy up front keeps the caller's problem untouched; every node
      after that is evaluated through the bound journal (O(depth) writes,
      no per-node copy). The optional objective override also lands on
@@ -55,7 +55,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     incumbent := Some (point, value);
     incumbent_value := value;
     if !first_incumbent = None then
-      first_incumbent := Some (!nodes, Unix.gettimeofday () -. start)
+      first_incumbent := Some (!nodes, Linalg.Mclock.now () -. start)
   in
   (* Certificate stream: every closed subtree (a leaf of the explored
      tree) is reported to [on_leaf] with the branching fixes that define
@@ -96,7 +96,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
       incumbent = !incumbent;
       best_bound = bound;
       nodes = !nodes;
-      elapsed = Unix.gettimeofday () -. start;
+      elapsed = Linalg.Mclock.now () -. start;
       lp_iterations = !lp_iters;
       failed_workers = 0;
       first_incumbent_nodes = Option.map fst !first_incumbent;
@@ -104,7 +104,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?(eps = 1e-6)
     }
   in
   let rec loop () =
-    if Unix.gettimeofday () -. start > time_limit then finish Time_limit
+    if Linalg.Mclock.now () -. start > time_limit then finish Time_limit
     else if !nodes >= node_limit then finish Node_limit
     else
       match pop () with

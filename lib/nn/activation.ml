@@ -21,6 +21,55 @@ let derivative t x =
 let apply_vec t v = Array.map (apply t) v
 let derivative_vec t v = Array.map (derivative t) v
 
+(* Batched variants: one constructor match per matrix, then a tight
+   monomorphic loop over the flat storage — no per-element closure or
+   dispatch on the hot path. Each arm applies the exact formula of
+   [apply]/[derivative], so batched and scalar results are bit-equal. *)
+
+let apply_mat_in_place t m =
+  let d = Linalg.Mat.data m in
+  let n = Array.length d in
+  match t with
+  | Identity -> ()
+  | Relu -> Linalg.Vec.relu_in_place d
+  | Tanh ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i (tanh (Array.unsafe_get d i))
+      done
+  | Sigmoid ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i
+          (1.0 /. (1.0 +. exp (-.(Array.unsafe_get d i))))
+      done
+
+let scale_by_derivative_in_place t ~pre ~delta =
+  if
+    Linalg.Mat.rows pre <> Linalg.Mat.rows delta
+    || Linalg.Mat.cols pre <> Linalg.Mat.cols delta
+  then invalid_arg "Activation.scale_by_derivative_in_place: shape mismatch";
+  let p = Linalg.Mat.data pre and d = Linalg.Mat.data delta in
+  let n = Array.length d in
+  match t with
+  | Identity -> ()
+  | Relu ->
+      (* Multiply by the 0/1 weight rather than overwriting with 0.0 so
+         a NaN in [delta] still propagates (nan *. 0.0 = nan), exactly
+         like the scalar [derivative] path. *)
+      for i = 0 to n - 1 do
+        let w = if Array.unsafe_get p i > 0.0 then 1.0 else 0.0 in
+        Array.unsafe_set d i (Array.unsafe_get d i *. w)
+      done
+  | Tanh ->
+      for i = 0 to n - 1 do
+        let y = tanh (Array.unsafe_get p i) in
+        Array.unsafe_set d i (Array.unsafe_get d i *. (1.0 -. (y *. y)))
+      done
+  | Sigmoid ->
+      for i = 0 to n - 1 do
+        let s = 1.0 /. (1.0 +. exp (-.(Array.unsafe_get p i))) in
+        Array.unsafe_set d i (Array.unsafe_get d i *. (s *. (1.0 -. s)))
+      done
+
 let interval t (i : Interval.t) =
   match t with
   | Relu -> Interval.relu i

@@ -20,6 +20,17 @@ val derivative : t -> float -> float
 val apply_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
 val derivative_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
 
+val apply_mat_in_place : t -> Linalg.Mat.t -> unit
+(** Element-wise [apply] over a whole batch matrix, in place. The
+    constructor is matched once and each arm runs the exact scalar
+    formula in a tight loop, so results are bit-equal to [apply]. *)
+
+val scale_by_derivative_in_place :
+  t -> pre:Linalg.Mat.t -> delta:Linalg.Mat.t -> unit
+(** [delta <- delta .* derivative t pre], element-wise in place — the
+    fused backpropagation step through an activation. Shapes must
+    match. *)
+
 val interval : t -> Interval.t -> Interval.t
 (** Sound image of an interval (all four functions are monotone). *)
 

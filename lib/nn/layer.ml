@@ -20,4 +20,24 @@ let pre_activation t x =
 
 let forward t x = Activation.apply_vec t.activation (pre_activation t x)
 
+(* Batched variants: the input matrix holds one sample per column
+   (input_dim x batch). Each output element accumulates W's row against
+   the sample column in ascending order and then adds the bias, exactly
+   like [pre_activation] — so column j of the result is bit-equal to
+   [pre_activation t (column j)]. *)
+
+let pre_activation_batch t x =
+  if Linalg.Mat.rows x <> input_dim t then
+    invalid_arg
+      (Printf.sprintf "Layer.pre_activation_batch: %d input rows, expected %d"
+         (Linalg.Mat.rows x) (input_dim t));
+  let z = Linalg.Mat.mul t.weights x in
+  Linalg.Mat.add_col_broadcast z t.bias;
+  z
+
+let forward_batch t x =
+  let z = pre_activation_batch t x in
+  Activation.apply_mat_in_place t.activation z;
+  z
+
 let copy t = { t with weights = Linalg.Mat.copy t.weights; bias = Linalg.Vec.copy t.bias }

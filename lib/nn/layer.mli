@@ -19,4 +19,12 @@ val pre_activation : t -> Linalg.Vec.t -> Linalg.Vec.t
 val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [act (W x + b)]. *)
 
+val pre_activation_batch : t -> Linalg.Mat.t -> Linalg.Mat.t
+(** [W X + b 1ᵀ] for a batch matrix [X] of shape [input_dim x batch]
+    (one sample per column). Column [j] of the result is bit-equal to
+    [pre_activation t (Mat.col x j)]. *)
+
+val forward_batch : t -> Linalg.Mat.t -> Linalg.Mat.t
+(** [act (W X + b 1ᵀ)], batched over columns. *)
+
 val copy : t -> t

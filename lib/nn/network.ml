@@ -43,17 +43,43 @@ let forward_trace t x =
   done;
   { pre; post }
 
+let forward_batch t x =
+  if Linalg.Mat.rows x <> input_dim t then
+    invalid_arg
+      (Printf.sprintf "Network.forward_batch: %d input rows, expected %d"
+         (Linalg.Mat.rows x) (input_dim t));
+  Array.fold_left (fun acc l -> Layer.forward_batch l acc) x t.layers
+
+type batch_trace = { pres : Linalg.Mat.t array; posts : Linalg.Mat.t array }
+
+let forward_trace_batch t x =
+  if Linalg.Mat.rows x <> input_dim t then
+    invalid_arg
+      (Printf.sprintf "Network.forward_trace_batch: %d input rows, expected %d"
+         (Linalg.Mat.rows x) (input_dim t));
+  let n = Array.length t.layers in
+  let empty = Linalg.Mat.zeros 0 0 in
+  let pres = Array.make n empty and posts = Array.make n empty in
+  let cur = ref x in
+  for i = 0 to n - 1 do
+    let z = Layer.pre_activation_batch t.layers.(i) !cur in
+    pres.(i) <- z;
+    let a = Linalg.Mat.copy z in
+    Activation.apply_mat_in_place t.layers.(i).Layer.activation a;
+    posts.(i) <- a;
+    cur := a
+  done;
+  { pres; posts }
+
 let architecture t =
   input_dim t :: Array.to_list (Array.map Layer.output_dim t.layers)
 
 let describe t =
   let dims = architecture t in
   let hidden = List.filteri (fun i _ -> i > 0 && i < List.length dims - 1) dims in
-  let act =
-    match Array.length t.layers with
-    | 0 | 1 -> Activation.Identity
-    | _ -> t.layers.(0).Layer.activation
-  in
+  (* [make] rejects empty networks, so layer 0 always exists; the old
+     [0 | 1 -> Identity] match mislabelled every 1-layer network. *)
+  let act = t.layers.(0).Layer.activation in
   let widths_equal =
     match hidden with
     | [] -> false

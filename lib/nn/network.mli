@@ -27,6 +27,26 @@ type trace = {
 
 val forward_trace : t -> Linalg.Vec.t -> trace
 
+(** {1 Batched inference}
+
+    Batch matrices hold one sample per column ([input_dim x batch]).
+    Column [j] of [forward_batch t x] is bit-equal to
+    [forward t (Mat.col x j)]: the blocked kernel accumulates in the
+    same order as the scalar path and the vectorised activations apply
+    the same formulas (the qcheck parity matrix in [test_nn] checks
+    every activation at every bench width). *)
+
+val forward_batch : t -> Linalg.Mat.t -> Linalg.Mat.t
+(** Raises [Invalid_argument] if [Mat.rows x <> input_dim t]. A
+    zero-column batch returns a zero-column result. *)
+
+type batch_trace = {
+  pres : Linalg.Mat.t array;   (** pre-activations per layer *)
+  posts : Linalg.Mat.t array;  (** activations; [posts.(last)] is the output *)
+}
+
+val forward_trace_batch : t -> Linalg.Mat.t -> batch_trace
+
 val architecture : t -> int list
 (** Dimensions [input; hidden...; output]. *)
 

@@ -60,6 +60,59 @@ let gradient ?hint net ~loss ~x ~target =
   done;
   (value, { dw; db })
 
+let gradient_batch ?hint net ~loss ~xs ~targets =
+  let bn = Array.length xs in
+  if bn <> Array.length targets then
+    invalid_arg "Backprop.gradient_batch: inputs/targets length mismatch";
+  if bn = 0 then (0.0, zero_like net)
+  else begin
+    let n = Nn.Network.num_layers net in
+    let x = Linalg.Mat.of_cols ~rows:(Nn.Network.input_dim net) xs in
+    let tr = Nn.Network.forward_trace_batch net x in
+    let out = tr.Nn.Network.posts.(n - 1) in
+    (* Per-sample loss heads stay scalar (the loss is cheap relative to
+       the matrix work); their gradients are packed back into a batch
+       matrix for the backward sweep. *)
+    let total = ref 0.0 in
+    let douts =
+      Array.init bn (fun j ->
+          let prediction = Linalg.Mat.col out j in
+          let value, dout =
+            Loss.value_and_grad loss ~prediction ~target:targets.(j)
+          in
+          let value, dout =
+            match hint with
+            | None -> (value, dout)
+            | Some h ->
+                let pv, pg = Hint.penalty_and_grad h ~input:xs.(j) ~prediction in
+                (value +. pv, Linalg.Vec.add dout pg)
+          in
+          total := !total +. value;
+          dout)
+    in
+    let dw = Array.make n (Linalg.Mat.zeros 0 0) in
+    let db = Array.make n [||] in
+    (* Same backward recurrence as [gradient], one matrix per step:
+       dW = Dpre Xᵀ and Wᵀ Dpre accumulate over samples / rows in the
+       same ascending order as the per-sample outer/mul_vec_transpose
+       path, so the summed batch gradient is bit-equal to folding
+       [gradient] over the samples with [accumulate]. *)
+    let delta =
+      ref (Linalg.Mat.of_cols ~rows:(Nn.Network.output_dim net) douts)
+    in
+    for i = n - 1 downto 0 do
+      let l = Nn.Network.layer net i in
+      Nn.Activation.scale_by_derivative_in_place l.Nn.Layer.activation
+        ~pre:tr.Nn.Network.pres.(i) ~delta:!delta;
+      let input = if i = 0 then x else tr.Nn.Network.posts.(i - 1) in
+      dw.(i) <- Linalg.Mat.mul !delta (Linalg.Mat.transpose input);
+      db.(i) <- Linalg.Mat.row_sums !delta;
+      if i > 0 then
+        delta := Linalg.Mat.mul (Linalg.Mat.transpose l.Nn.Layer.weights) !delta
+    done;
+    (!total, { dw; db })
+  end
+
 let numeric_gradient net ~loss ~x ~target ~layer ~row ~col ~eps =
   let l = Nn.Network.layer net layer in
   let read, write =

@@ -24,6 +24,20 @@ val gradient :
     given, its penalty (and gradient) is added to the loss — the
     Sec. IV(iii) "training under known properties" mechanism. *)
 
+val gradient_batch :
+  ?hint:Hint.t ->
+  Nn.Network.t ->
+  loss:Loss.t ->
+  xs:Linalg.Vec.t array ->
+  targets:Linalg.Vec.t array ->
+  float * grads
+(** Summed loss value and summed parameter gradients over a minibatch,
+    computed with one batched forward/backward sweep. The matrix
+    products accumulate over samples in ascending order, so the result
+    is bit-equal to folding {!gradient} over the samples with
+    {!accumulate} (the caller scales by the batch size, as before).
+    An empty batch returns [(0.0, zero_like net)]. *)
+
 val numeric_gradient :
   Nn.Network.t ->
   loss:Loss.t ->

@@ -62,16 +62,16 @@ let fit config net samples ?(validation = [||]) () =
        let n = Array.length samples in
        while !i < n do
          let batch_end = min n (!i + config.batch_size) in
-         let acc = Backprop.zero_like net in
-         for k = !i to batch_end - 1 do
-           let x, target = samples.(order.(k)) in
-           let value, g =
-             Backprop.gradient ?hint:config.hint net ~loss:config.loss ~x
-               ~target
-           in
-           epoch_total := !epoch_total +. value;
-           Backprop.accumulate acc g
-         done;
+         (* One batched forward/backward per minibatch; bit-equal to the
+            historical per-sample gradient + accumulate fold. *)
+         let bn = batch_end - !i in
+         let xs = Array.init bn (fun k -> fst samples.(order.(!i + k))) in
+         let targets = Array.init bn (fun k -> snd samples.(order.(!i + k))) in
+         let value, acc =
+           Backprop.gradient_batch ?hint:config.hint net ~loss:config.loss ~xs
+             ~targets
+         in
+         epoch_total := !epoch_total +. value;
          let batch_n = float_of_int (batch_end - !i) in
          Backprop.scale_in_place acc (1.0 /. batch_n);
          (match config.clip_norm with

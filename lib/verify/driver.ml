@@ -61,7 +61,7 @@ let maximize_outputs ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
     ?(depth_first = false) ?(cores = 1) ?portfolio ?(warm = true) ?lp_core
     ~outputs:output_indices net box =
-  let started = Unix.gettimeofday () in
+  let started = Linalg.Mclock.now () in
   let deadline = started +. time_limit in
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
@@ -95,7 +95,7 @@ let maximize_outputs ?(time_limit = 60.0)
          branch: the caller asked for within-query parallelism. *)
       let share =
         Float.max 0.0
-          ((deadline -. Unix.gettimeofday ()) /. float_of_int n_queries)
+          ((deadline -. Linalg.Mclock.now ()) /. float_of_int n_queries)
       in
       Milp.Parallel.map ~cores:(min cores n_queries)
         ~init:(fun () -> ())
@@ -107,7 +107,7 @@ let maximize_outputs ?(time_limit = 60.0)
       for qi = 0 to n_queries - 1 do
         let per_query_limit =
           Float.max 0.0
-            ((deadline -. Unix.gettimeofday ())
+            ((deadline -. Linalg.Mclock.now ())
             /. float_of_int (n_queries - qi))
         in
         results.(qi) <-
@@ -161,7 +161,7 @@ let maximize_outputs ?(time_limit = 60.0)
     optimal = !all_optimal && !best_value <> None;
     timed_out = !any_timeout;
     witness = !best_witness;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Linalg.Mclock.now () -. started;
     component_elapsed;
     nodes = !nodes;
     lp_iterations = !lp_iters;
@@ -201,7 +201,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
     ~warm ~lp_core ~components ~threshold net box =
   (* Same budget contract as [maximize_outputs]: OBBT spends from the
      global limit, the remainder is re-split before each query. *)
-  let started = Unix.gettimeofday () in
+  let started = Linalg.Mclock.now () in
   let deadline = started +. time_limit in
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds
@@ -235,7 +235,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
         let output = Nn.Gmm.mu_lat_index ~components k in
         let per_query_limit =
           Float.max 0.0
-            ((deadline -. Unix.gettimeofday ())
+            ((deadline -. Linalg.Mclock.now ())
             /. float_of_int (List.length queue))
         in
         let r =
@@ -266,7 +266,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
   let proof = prove pending presolved_bound in
   {
     proof;
-    proof_elapsed = Unix.gettimeofday () -. started;
+    proof_elapsed = Linalg.Mclock.now () -. started;
     proof_nodes = !nodes;
     presolved;
     certified = 0;
@@ -295,7 +295,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
    the certificate cannot replay would be [Leaf_uncertified]). *)
 let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
     ~certify_dir ~resume ~watchdog ~components ~threshold net box =
-  let started = Unix.gettimeofday () in
+  let started = Linalg.Mclock.now () in
   let deadline = started +. time_limit in
   let enc =
     Encoding.Encoder.encode ~bound_mode ~tighten_rounds:0 ~cores ?lp_core net
@@ -476,10 +476,10 @@ let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
             else begin
               let share =
                 Float.max 0.0
-                  ((deadline -. Unix.gettimeofday ())
+                  ((deadline -. Linalg.Mclock.now ())
                   /. float_of_int (List.length queue))
               in
-              let share_end = Unix.gettimeofday () +. share in
+              let share_end = Linalg.Mclock.now () +. share in
               let rungs =
                 if watchdog then
                   [ Some Lp.Simplex.Sparse; Some Lp.Simplex.Dense ]
@@ -491,7 +491,7 @@ let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
                 | rung_core :: lower ->
                     let rung_limit =
                       if i = nrungs - 1 then
-                        Float.max 0.0 (share_end -. Unix.gettimeofday ())
+                        Float.max 0.0 (share_end -. Linalg.Mclock.now ())
                       else 0.6 *. share
                     in
                     let attempt =
@@ -553,7 +553,7 @@ let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
   let proof = settle (List.init components Fun.id) neg_infinity in
   {
     proof;
-    proof_elapsed = Unix.gettimeofday () -. started;
+    proof_elapsed = Linalg.Mclock.now () -. started;
     proof_nodes = !nodes;
     presolved = !presolved;
     certified = !certified;

@@ -244,6 +244,46 @@ let test_campaign_reverify_sound () =
         true rv.Fault.Campaign.rv_sound)
     r.Fault.Campaign.reverified
 
+(* The batched replay is a pure throughput change: per-scene verdicts,
+   counters and deviations must be the same whether scenes go through
+   one at a time or in cache-blocked chunks (including a chunk size that
+   does not divide the scene count). *)
+let test_campaign_batch_invariance () =
+  let net = make_net 9 8 in
+  let sc = scenes 10 25 in
+  let envelope = Guard.envelope ~components ~lat_limit:1.0 () in
+  let go batch =
+    let rng = Linalg.Rng.create 31 in
+    Fault.Campaign.run ~rng ~envelope ~batch ~scenes:sc ~trials:30 net
+  in
+  let baseline = go 1 in
+  List.iter
+    (fun batch ->
+      let r = go batch in
+      let tag name = Printf.sprintf "batch %d: %s" batch name in
+      Alcotest.(check int) (tag "detected") baseline.Fault.Campaign.detected
+        r.Fault.Campaign.detected;
+      Alcotest.(check int) (tag "nan") baseline.Fault.Campaign.nan_trials
+        r.Fault.Campaign.nan_trials;
+      Alcotest.(check int) (tag "violations")
+        baseline.Fault.Campaign.violation_trials
+        r.Fault.Campaign.violation_trials;
+      Alcotest.(check int) (tag "silent") baseline.Fault.Campaign.silent
+        r.Fault.Campaign.silent;
+      Alcotest.(check int) (tag "benign") baseline.Fault.Campaign.benign
+        r.Fault.Campaign.benign;
+      Alcotest.(check int) (tag "fallbacks")
+        baseline.Fault.Campaign.total_fallbacks
+        r.Fault.Campaign.total_fallbacks;
+      Alcotest.(check bool) (tag "per-trial deviations bit-equal") true
+        (Array.for_all2
+           (fun a b ->
+             a.Fault.Campaign.max_deviation = b.Fault.Campaign.max_deviation
+             && a.Fault.Campaign.detected = b.Fault.Campaign.detected
+             && a.Fault.Campaign.silent = b.Fault.Campaign.silent)
+           baseline.Fault.Campaign.trials r.Fault.Campaign.trials))
+    [ 7; 25; 128 ]
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "fault"
@@ -270,5 +310,6 @@ let () =
             test_campaign_parallel_matches_sequential;
           quick "re-queues dead worker" test_campaign_requeues_dead_worker;
           quick "reverify sound" test_campaign_reverify_sound;
+          quick "batch invariance" test_campaign_batch_invariance;
         ] );
     ]

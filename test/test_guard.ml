@@ -176,6 +176,64 @@ let prop_never_raises_always_finite =
       | (lat, lon), _ -> Float.is_finite lat && Float.is_finite lon
       | exception _ -> false)
 
+(* {1 Batched prediction} *)
+
+(* [predict_batch] must be observationally identical to mapping
+   [predict]: same actions, same states, same counters, same last trip —
+   whatever the chunk size. *)
+let test_predict_batch_matches_scalar () =
+  let components = 3 in
+  let rng = Linalg.Rng.create 51 in
+  let net =
+    Nn.Network.i4xn ~rng ~output_dim:(Nn.Gmm.output_dim ~components) 8
+  in
+  let inputs =
+    Array.init 37 (fun _ ->
+        Array.init 84 (fun _ -> Linalg.Rng.uniform rng (-4.0) 4.0))
+  in
+  let envelope = Guard.envelope ~components ~lat_limit:0.4 () in
+  let scalar_guard = Guard.make ~envelope net in
+  let expected = Array.map (Guard.predict scalar_guard) inputs in
+  let expected_diag = Guard.diagnostics scalar_guard in
+  List.iter
+    (fun batch ->
+      let guard = Guard.make ~envelope net in
+      let got = Guard.predict_batch ~batch guard inputs in
+      Array.iteri
+        (fun i ((lat, lon), state) ->
+          let (elat, elon), estate = expected.(i) in
+          if not (lat = elat && lon = elon && state = estate) then
+            Alcotest.failf "batch %d, input %d: batched prediction differs"
+              batch i)
+        got;
+      let d = Guard.diagnostics guard in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %d: diagnostics identical" batch)
+        true (d = expected_diag))
+    [ 1; 7; 37; 128 ]
+
+(* One poisoned sample must not leak into its batch neighbours. *)
+let test_predict_batch_nan_isolated () =
+  let guard = Guard.make ~envelope:(env 1.0) (const_net (head ~lat:0.3 ~lon:0.1)) in
+  let poisoned = Array.make 84 Float.nan in
+  let inputs = [| input; poisoned; input |] in
+  let got = Guard.predict_batch ~batch:3 guard inputs in
+  let states = Array.map snd got in
+  Alcotest.(check bool) "clean neighbours nominal" true
+    (states.(0) = Guard.Nominal && states.(2) = Guard.Nominal);
+  Alcotest.(check bool) "poisoned column falls back" true
+    (states.(1) = Guard.Fallback);
+  let (lat, lon), _ = got.(1) in
+  Alcotest.(check bool) "fallback action finite" true
+    (Float.is_finite lat && Float.is_finite lon)
+
+let test_predict_batch_empty () =
+  let guard = Guard.make ~envelope:(env 1.0) (const_net (head ~lat:0.3 ~lon:0.1)) in
+  Alcotest.(check int) "empty input, empty output" 0
+    (Array.length (Guard.predict_batch guard [||]));
+  Alcotest.(check int) "no predictions counted" 0
+    (Guard.diagnostics guard).Guard.predictions
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "guard"
@@ -196,6 +254,12 @@ let () =
           quick "from verification" test_envelope_of_verification;
         ] );
       ("fallback", [ quick "idm sanitizes" test_idm_fallback_sanitizes ]);
+      ( "batched",
+        [
+          quick "matches scalar" test_predict_batch_matches_scalar;
+          quick "nan isolated" test_predict_batch_nan_isolated;
+          quick "empty" test_predict_batch_empty;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_never_raises_always_finite ]
       );

@@ -173,6 +173,64 @@ let test_mat_frobenius () =
   let m = Linalg.Mat.of_rows [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
   check_float "frobenius" 5.0 (Linalg.Mat.frobenius m)
 
+(* Regression: a zero coefficient multiplying a NaN must still produce
+   NaN (0 * nan = nan). The old [mul] short-circuited [aik <> 0.0] and
+   silently suppressed NaN propagation — exactly the corruption the
+   fault campaign's NaN detection relies on observing. *)
+let test_mat_mul_zero_times_nan () =
+  let a = Linalg.Mat.of_rows [| [| 0.0; 1.0 |] |] in
+  let b = Linalg.Mat.of_rows [| [| Float.nan |]; [| 2.0 |] |] in
+  Alcotest.(check bool) "mul: 0 * nan is nan" true
+    (Float.is_nan (Linalg.Mat.get (Linalg.Mat.mul a b) 0 0));
+  Alcotest.(check bool) "mul_naive agrees" true
+    (Float.is_nan (Linalg.Mat.get (Linalg.Mat.mul_naive a b) 0 0));
+  Alcotest.(check bool) "mul_vec: 0 * nan is nan" true
+    (Float.is_nan (Linalg.Mat.mul_vec a [| Float.nan; 2.0 |]).(0));
+  let m = Linalg.Mat.of_rows [| [| Float.nan; 2.0 |] |] in
+  Alcotest.(check bool) "mul_vec_transpose: nan row, zero coeff" true
+    (Float.is_nan (Linalg.Mat.mul_vec_transpose m [| 0.0 |]).(0))
+
+let test_mat_of_cols () =
+  let m =
+    Linalg.Mat.of_cols ~rows:2 [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |]
+  in
+  Alcotest.(check int) "rows" 2 (Linalg.Mat.rows m);
+  Alcotest.(check int) "cols" 3 (Linalg.Mat.cols m);
+  Alcotest.(check bool) "column layout" true
+    (Linalg.Vec.approx_equal (Linalg.Mat.col m 1) [| 3.0; 4.0 |]);
+  let empty = Linalg.Mat.of_cols ~rows:4 [||] in
+  Alcotest.(check int) "empty batch rows" 4 (Linalg.Mat.rows empty);
+  Alcotest.(check int) "empty batch cols" 0 (Linalg.Mat.cols empty);
+  let single = Linalg.Mat.of_cols ~rows:3 [| [| 7.0; 8.0; 9.0 |] |] in
+  Alcotest.(check bool) "single column" true
+    (Linalg.Vec.approx_equal (Linalg.Mat.col single 0) [| 7.0; 8.0; 9.0 |]);
+  Alcotest.(check bool) "ragged column rejected" true
+    (match Linalg.Mat.of_cols ~rows:2 [| [| 1.0; 2.0 |]; [| 3.0 |] |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_mat_mul_into () =
+  let rng = Linalg.Rng.create 33 in
+  let a = Linalg.Mat.init 5 7 (fun _ _ -> Linalg.Rng.uniform rng (-2.0) 2.0) in
+  let b = Linalg.Mat.init 7 4 (fun _ _ -> Linalg.Rng.uniform rng (-2.0) 2.0) in
+  let dst = Linalg.Mat.create 5 4 42.0 in
+  Linalg.Mat.mul_into ~dst a b;
+  Alcotest.(check bool) "overwrites dst with a*b" true
+    (Linalg.Mat.approx_equal ~eps:0.0 dst (Linalg.Mat.mul a b));
+  Alcotest.(check bool) "shape mismatch rejected" true
+    (match Linalg.Mat.mul_into ~dst:(Linalg.Mat.zeros 4 4) a b with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_mat_row_sums_broadcast () =
+  let m = Linalg.Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| -1.0; 0.5; 0.5 |] |] in
+  Alcotest.(check bool) "row sums" true
+    (Linalg.Vec.approx_equal (Linalg.Mat.row_sums m) [| 6.0; 0.0 |]);
+  Linalg.Mat.add_col_broadcast m [| 10.0; 20.0 |];
+  Alcotest.(check bool) "bias broadcast over columns" true
+    (Linalg.Mat.approx_equal m
+       (Linalg.Mat.of_rows [| [| 11.0; 12.0; 13.0 |]; [| 19.0; 20.5; 20.5 |] |]))
+
 (* {1 Stats} *)
 
 let test_stats_mean_var () =
@@ -252,6 +310,19 @@ let prop_transpose_mul =
         (Linalg.Mat.transpose (Linalg.Mat.mul a b))
         (Linalg.Mat.mul (Linalg.Mat.transpose b) (Linalg.Mat.transpose a)))
 
+(* The blocked kernel must be bit-identical to the triple loop: same
+   ascending-k accumulation order, no contraction. [eps:0.0] on purpose. *)
+let prop_mul_matches_naive =
+  QCheck.Test.make ~name:"blocked mul = naive mul (bit-exact)" ~count:60
+    QCheck.(
+      quad (int_range 1 40) (int_range 1 40) (int_range 1 40) (int_range 0 10000))
+    (fun (m, k, n, seed) ->
+      let rng = Linalg.Rng.create seed in
+      let a = Linalg.Mat.init m k (fun _ _ -> Linalg.Rng.uniform rng (-3.0) 3.0) in
+      let b = Linalg.Mat.init k n (fun _ _ -> Linalg.Rng.uniform rng (-3.0) 3.0) in
+      Linalg.Mat.approx_equal ~eps:0.0 (Linalg.Mat.mul a b)
+        (Linalg.Mat.mul_naive a b))
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "linalg"
@@ -291,6 +362,10 @@ let () =
           quick "row/col" test_mat_row_col;
           quick "ragged rejected" test_mat_ragged_rejected;
           quick "frobenius" test_mat_frobenius;
+          quick "0 * nan propagates" test_mat_mul_zero_times_nan;
+          quick "of_cols" test_mat_of_cols;
+          quick "mul_into" test_mat_mul_into;
+          quick "row sums / broadcast" test_mat_row_sums_broadcast;
         ] );
       ( "stats",
         [
@@ -302,5 +377,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_dot_commutative; prop_matvec_linear; prop_transpose_mul ] );
+          [
+            prop_dot_commutative;
+            prop_matvec_linear;
+            prop_transpose_mul;
+            prop_mul_matches_naive;
+          ] );
     ]

@@ -105,6 +105,132 @@ let test_i4xn_shape () =
     (String.length (Nn.Network.describe net) > 0
      && String.sub (Nn.Network.describe net) 0 5 = "I4x20")
 
+(* Regression: [describe] used to report "identity" for every 1-layer
+   network because the layer-count match treated 0 and 1 alike. *)
+let test_describe_single_layer () =
+  let rng = Linalg.Rng.create 6 in
+  let weights = Linalg.Mat.init 2 3 (fun _ _ -> Linalg.Rng.uniform rng (-1.0) 1.0) in
+  let net =
+    Nn.Network.make [| Nn.Layer.make weights [| 0.1; -0.2 |] Nn.Activation.Relu |]
+  in
+  let d = Nn.Network.describe net in
+  let mentions s =
+    let re = Str.regexp_string s in
+    try
+      ignore (Str.search_forward re d 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) (d ^ " mentions relu") true (mentions "relu");
+  Alcotest.(check bool) (d ^ " not mislabelled identity") false
+    (mentions "identity")
+
+(* {1 Batched inference} *)
+
+let batch_of rng net n =
+  let input_dim = List.hd (Nn.Network.architecture net) in
+  Array.init n (fun _ ->
+      Array.init input_dim (fun _ -> Linalg.Rng.uniform rng (-2.0) 2.0))
+
+(* Batched forward must be bit-equal to the scalar path, per column, for
+   every activation at every bench width (the ISSUE's parity matrix). *)
+let test_forward_batch_parity_matrix () =
+  List.iter
+    (fun act ->
+      List.iter
+        (fun width ->
+          let rng = Linalg.Rng.create (width + (17 * Hashtbl.hash act)) in
+          let net =
+            Nn.Network.create ~rng ~hidden_activation:act
+              [ 84; width; width; width; width; 15 ]
+          in
+          let inputs = batch_of rng net 13 in
+          let y =
+            Nn.Network.forward_batch net (Linalg.Mat.of_cols ~rows:84 inputs)
+          in
+          Array.iteri
+            (fun j x ->
+              let scalar = Nn.Network.forward net x in
+              let batched = Linalg.Mat.col y j in
+              if not (Linalg.Vec.approx_equal ~eps:0.0 scalar batched) then
+                Alcotest.failf "%s width %d column %d: batched <> scalar"
+                  (Nn.Activation.name act) width j)
+            inputs)
+        [ 10; 20; 50 ])
+    [
+      Nn.Activation.Relu;
+      Nn.Activation.Tanh;
+      Nn.Activation.Sigmoid;
+      Nn.Activation.Identity;
+    ]
+
+let test_forward_batch_edges () =
+  let rng = Linalg.Rng.create 8 in
+  let net = Nn.Network.create ~rng [ 4; 6; 3 ] in
+  let empty = Nn.Network.forward_batch net (Linalg.Mat.of_cols ~rows:4 [||]) in
+  Alcotest.(check int) "empty batch keeps output rows" 3 (Linalg.Mat.rows empty);
+  Alcotest.(check int) "empty batch has no columns" 0 (Linalg.Mat.cols empty);
+  let x = [| 0.3; -0.8; 1.2; 0.0 |] in
+  let one = Nn.Network.forward_batch net (Linalg.Mat.of_cols ~rows:4 [| x |]) in
+  Alcotest.check vec "single column = scalar forward"
+    (Nn.Network.forward net x) (Linalg.Mat.col one 0);
+  Alcotest.(check bool) "wrong input dim rejected" true
+    (match Nn.Network.forward_batch net (Linalg.Mat.zeros 5 2) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_forward_trace_batch_parity () =
+  let rng = Linalg.Rng.create 9 in
+  let net = Nn.Network.create ~rng [ 5; 7; 7; 4 ] in
+  let inputs = batch_of rng net 6 in
+  let bt = Nn.Network.forward_trace_batch net (Linalg.Mat.of_cols ~rows:5 inputs) in
+  Array.iteri
+    (fun j x ->
+      let t = Nn.Network.forward_trace net x in
+      Array.iteri
+        (fun li pre ->
+          if not (Linalg.Vec.approx_equal ~eps:0.0 pre
+                    (Linalg.Mat.col bt.Nn.Network.pres.(li) j))
+          then Alcotest.failf "column %d layer %d: pre-activations differ" j li;
+          if not (Linalg.Vec.approx_equal ~eps:0.0 t.Nn.Network.post.(li)
+                    (Linalg.Mat.col bt.Nn.Network.posts.(li) j))
+          then Alcotest.failf "column %d layer %d: activations differ" j li)
+        t.Nn.Network.pre)
+    inputs
+
+let prop_forward_batch_matches_scalar =
+  QCheck.Test.make ~name:"forward_batch = per-column forward (bit-exact)"
+    ~count:50
+    QCheck.(
+      quad (int_range 1 12) (int_range 1 12) (int_range 0 9) (int_range 0 10000))
+    (fun (input_dim, hidden, n, seed) ->
+      let rng = Linalg.Rng.create seed in
+      let acts =
+        [|
+          Nn.Activation.Relu; Nn.Activation.Tanh; Nn.Activation.Sigmoid;
+          Nn.Activation.Identity;
+        |]
+      in
+      let net =
+        Nn.Network.create ~rng
+          ~hidden_activation:acts.(seed mod Array.length acts)
+          [ input_dim; hidden; 3 ]
+      in
+      let inputs =
+        Array.init n (fun _ ->
+            Array.init input_dim (fun _ -> Linalg.Rng.uniform rng (-5.0) 5.0))
+      in
+      let y =
+        Nn.Network.forward_batch net (Linalg.Mat.of_cols ~rows:input_dim inputs)
+      in
+      Linalg.Mat.cols y = n
+      && Array.for_all
+           (fun j ->
+             Linalg.Vec.approx_equal ~eps:0.0
+               (Nn.Network.forward net inputs.(j))
+               (Linalg.Mat.col y j))
+           (Array.init n Fun.id))
+
 let test_create_validation () =
   let rng = Linalg.Rng.create 4 in
   Alcotest.(check bool) "needs two dims" true
@@ -391,8 +517,15 @@ let () =
           quick "layer mismatch" test_network_layer_mismatch;
           quick "trace consistency" test_forward_trace_consistency;
           quick "i4xn" test_i4xn_shape;
+          quick "describe single layer" test_describe_single_layer;
           quick "create validation" test_create_validation;
           quick "copy independent" test_copy_independent;
+        ] );
+      ( "batched",
+        [
+          quick "parity matrix" test_forward_batch_parity_matrix;
+          quick "edge cases" test_forward_batch_edges;
+          quick "trace parity" test_forward_trace_batch_parity;
         ] );
       ( "gmm",
         [
@@ -422,5 +555,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_gmm_grad_matches_finite_diff; prop_io_roundtrip_random ] );
+          [
+            prop_gmm_grad_matches_finite_diff;
+            prop_io_roundtrip_random;
+            prop_forward_batch_matches_scalar;
+          ] );
     ]

@@ -320,6 +320,67 @@ let test_loss_dimension_checks () =
        false
      with Invalid_argument _ -> true)
 
+(* {1 Batched gradients} *)
+
+let grads_bit_equal a b =
+  Array.for_all2 (Linalg.Mat.approx_equal ~eps:0.0) a.Train.Backprop.dw
+    b.Train.Backprop.dw
+  && Array.for_all2 (Linalg.Vec.approx_equal ~eps:0.0) a.Train.Backprop.db
+       b.Train.Backprop.db
+
+(* The batched sweep accumulates over samples in ascending order, so it
+   must reproduce the fold of per-sample [gradient] + [accumulate] to
+   the last bit — the trainer's minibatch loop depends on this to keep
+   training runs reproducible across the batched conversion. *)
+let test_gradient_batch_matches_fold () =
+  List.iter
+    (fun (loss, output_dim, target_dim) ->
+      let rng = Linalg.Rng.create (97 + output_dim) in
+      let net =
+        Nn.Network.create ~rng ~hidden_activation:Nn.Activation.Tanh
+          [ 6; 9; output_dim ]
+      in
+      let n = 11 in
+      let xs =
+        Array.init n (fun _ ->
+            Array.init 6 (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+      in
+      let targets =
+        Array.init n (fun _ ->
+            Array.init target_dim (fun _ -> Linalg.Rng.uniform rng (-1.0) 1.0))
+      in
+      let batch_loss, batch_grads =
+        Train.Backprop.gradient_batch net ~loss ~xs ~targets
+      in
+      let folded = Train.Backprop.zero_like net in
+      let folded_loss = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          let l, g =
+            Train.Backprop.gradient net ~loss ~x ~target:targets.(i)
+          in
+          folded_loss := !folded_loss +. l;
+          Train.Backprop.accumulate folded g)
+        xs;
+      Alcotest.(check (float 0.0))
+        (Train.Loss.name loss ^ " summed loss")
+        !folded_loss batch_loss;
+      Alcotest.(check bool)
+        (Train.Loss.name loss ^ " summed grads bit-equal")
+        true
+        (grads_bit_equal folded batch_grads))
+    [ (Train.Loss.Mse, 2, 2); (Train.Loss.Mdn { components = 2 }, 10, 2) ]
+
+let test_gradient_batch_empty () =
+  let rng = Linalg.Rng.create 12 in
+  let net = Nn.Network.create ~rng [ 3; 4; 2 ] in
+  let loss, grads =
+    Train.Backprop.gradient_batch net ~loss:Train.Loss.Mse ~xs:[||] ~targets:[||]
+  in
+  Alcotest.(check (float 0.0)) "zero loss" 0.0 loss;
+  Alcotest.(check bool) "zero grads" true
+    (grads_bit_equal grads (Train.Backprop.zero_like net))
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -331,6 +392,8 @@ let () =
           quick "mse sigmoid" test_backprop_mse_sigmoid;
           quick "mdn" test_backprop_mdn;
           quick "grads plumbing" test_grads_accumulate_scale_norm;
+          quick "batched = folded" test_gradient_batch_matches_fold;
+          quick "empty batch" test_gradient_batch_empty;
         ] );
       ( "optimizer",
         [
