@@ -13,7 +13,9 @@
      depnn simulate predictor.net
      depnn certify  --width 10
      depnn fault campaign --trials 50 --lat-limit 1.5 --smoke
-     depnn guard    predictor.net --demo-fault *)
+     depnn guard    predictor.net --demo-fault
+     depnn serve    predictor.net --socket depnn.sock --cache-dir cache/
+     depnn client   verify --socket depnn.sock --threshold 1.5 *)
 
 open Cmdliner
 
@@ -650,6 +652,214 @@ let guard_cmd =
           $ lat_limit_arg $ time_limit_arg $ cores_arg $ portfolio_arg
           $ batch_arg $ demo_fault)
 
+(* {1 serve / client} *)
+
+let address_conv =
+  let parse s =
+    match Serve.Protocol.address_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Serve.Protocol.address_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt address_conv (Serve.Protocol.Unix_socket "depnn.sock")
+    & info [ "socket" ] ~docv:"ADDR"
+        ~env:(Cmd.Env.info "DEPNN_SOCKET")
+        ~doc:
+          "Server address: $(b,unix:)$(i,PATH), $(b,tcp:)$(i,HOST:PORT), \
+           or a bare path (unix socket).")
+
+let serve net_path socket workers cache_dir queue max_time stats_interval
+    lp_core =
+  apply_lp_core lp_core;
+  let net = Nn.Io.load net_path in
+  Printf.printf "serving %s (hash %s) on %s\n%!"
+    (Nn.Network.describe net) (Nn.Io.content_hash net)
+    (Serve.Protocol.address_to_string socket);
+  let config =
+    {
+      (Serve.Server.default_config ~address:socket ~cache_dir ()) with
+      Serve.Server.workers;
+      queue_capacity = queue;
+      max_time_limit = max_time;
+      stats_interval;
+      handle_signals = true;
+    }
+  in
+  Serve.Server.run config net
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains solving cache misses.")
+  in
+  let cache_dir =
+    Arg.(value & opt string "proof-cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:
+               "Content-addressed proof store root (one auditable \
+                certification directory per property hash); recovered on \
+                restart.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Queued cache misses before new ones are refused.")
+  in
+  let max_time =
+    Arg.(value & opt float 60.0
+         & info [ "max-time-limit" ] ~docv:"S"
+             ~doc:"Cap on any client's requested solve budget (seconds).")
+  in
+  let stats_interval =
+    Arg.(value & opt float 30.0
+         & info [ "stats-interval" ] ~docv:"S"
+             ~doc:"Seconds between stats log lines on stderr; 0 disables.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent certification server: verdicts answered from \
+          the content-addressed proof cache when possible (exact key or a \
+          subsuming verified box), solved and certified otherwise. \
+          SIGINT/SIGTERM drain the queue and shut down cleanly.")
+    Term.(const serve $ net_arg $ socket_arg $ workers $ cache_dir $ queue
+          $ max_time $ stats_interval $ lp_core_arg)
+
+(* The client builds the same deterministic scenario box as [verify], so
+   two processes asking the same question serialise bit-identical
+   payloads — and therefore hit the same cache key on the server. *)
+let scenario_property ~threshold ~slack ~bound_mode =
+  let box = Verify.Scenario.vehicle_on_left ~slack () in
+  {
+    Certify.Certificate.threshold;
+    components;
+    bound_mode = Certify.Checker.mode_string bound_mode;
+    box = Array.map (fun iv -> (iv.Interval.lo, iv.Interval.hi)) box;
+  }
+
+let client op socket net_path threshold slack bound_mode time_limit timeout =
+  let net_hash =
+    Option.map (fun p -> Nn.Io.content_hash (Nn.Io.load p)) net_path
+  in
+  let request =
+    match op with
+    | `Status -> Serve.Protocol.Status
+    | `Shutdown -> Serve.Protocol.Shutdown
+    | `Predict ->
+        Serve.Protocol.Predict
+          (Interval.Box.center (Verify.Scenario.vehicle_on_left ~slack ()))
+    | (`Verify | `Certify) as op ->
+        Serve.Protocol.Verify
+          {
+            Serve.Protocol.property =
+              scenario_property ~threshold ~slack ~bound_mode;
+            net_hash;
+            time_limit;
+            exact_only = op = `Certify;
+          }
+  in
+  match Serve.Client.call ~timeout socket request with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 3
+  | Ok (Serve.Protocol.Refused reason) ->
+      Printf.printf "error: %s\n" reason;
+      exit 3
+  | Ok Serve.Protocol.Shutting_down -> print_endline "server shutting down"
+  | Ok (Serve.Protocol.Outputs out) ->
+      Array.iter (Printf.printf "%.17g ") out;
+      print_newline ()
+  | Ok (Serve.Protocol.Stats s) ->
+      Printf.printf
+        "uptime: %.1fs\nworkers: %d (%d failed)\nqueue: %d/%d\nqueries: \
+         %d\ncache: %d exact, %d subsumed\nsolved: %d\nrejected: \
+         %d\nstore: %d entries\n"
+        s.Serve.Protocol.uptime_s s.Serve.Protocol.workers
+        s.Serve.Protocol.failed_workers s.Serve.Protocol.queue_depth
+        s.Serve.Protocol.queue_capacity s.Serve.Protocol.queries
+        s.Serve.Protocol.served_exact s.Serve.Protocol.served_subsumed
+        s.Serve.Protocol.solved s.Serve.Protocol.rejected
+        s.Serve.Protocol.store_entries
+  | Ok (Serve.Protocol.Answer a) -> (
+      (* Line-per-fact output: scripts grep [cache:] and [dir:]. *)
+      Printf.printf "cache: %s\n"
+        (Serve.Protocol.cache_string a.Serve.Protocol.cache);
+      Printf.printf "prop: %s\n" a.Serve.Protocol.prop_hash;
+      Printf.printf "certified: %d\n" a.Serve.Protocol.certified;
+      Printf.printf "dir: %s\n" a.Serve.Protocol.cert_dir;
+      Printf.printf "solve: %.3fs\n" a.Serve.Protocol.solve_s;
+      match a.Serve.Protocol.verdict with
+      | Serve.Protocol.V_proved ->
+          Printf.printf "PROVED: lateral velocity <= %.2f m/s\n" threshold
+      | Serve.Protocol.V_disproved { achieved; _ } ->
+          Printf.printf "UNSAFE: counterexample reaches %.3f m/s\n" achieved;
+          exit 1
+      | Serve.Protocol.V_unknown { best_bound } ->
+          Printf.printf "UNKNOWN: bound %.3f after the time limit\n"
+            best_bound;
+          exit 2)
+
+let client_cmd =
+  let op =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("verify", `Verify); ("certify", `Certify);
+                  ("predict", `Predict); ("status", `Status);
+                  ("shutdown", `Shutdown);
+                ]))
+          None
+      & info [] ~docv:"OP"
+          ~doc:
+            "$(b,verify) (cache may answer by subsumption), $(b,certify) \
+             (exact cache key only), $(b,predict), $(b,status), \
+             $(b,shutdown).")
+  in
+  let net =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "net" ] ~docv:"FILE"
+          ~doc:
+            "Pin the query to this network file's content hash; the \
+             server refuses a mismatch.")
+  in
+  let threshold =
+    Arg.(value & opt float 1.5
+         & info [ "threshold" ] ~docv:"V" ~doc:"Lateral velocity limit (m/s).")
+  in
+  let slack =
+    Arg.(value & opt float 0.03
+         & info [ "slack" ] ~docv:"R" ~doc:"Scenario box slack (normalised).")
+  in
+  let time_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-limit" ] ~docv:"S"
+          ~doc:"Requested solve budget; the server clamps it to its cap.")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0
+         & info [ "timeout" ] ~docv:"S" ~doc:"Client-side socket timeout.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Query a running $(b,depnn serve) daemon (one request per call).")
+    Term.(const client $ op $ socket_arg $ net $ threshold $ slack
+          $ bound_mode_arg $ time_limit $ timeout)
+
 (* {1 certify} *)
 
 let certify seed width samples epochs cores portfolio batch =
@@ -690,5 +900,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; data_audit_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
-            simulate_cmd; certify_cmd; fault_cmd; guard_cmd;
+            simulate_cmd; certify_cmd; fault_cmd; guard_cmd; serve_cmd;
+            client_cmd;
           ]))

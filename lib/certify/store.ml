@@ -1,0 +1,213 @@
+type verdict =
+  | Proved
+  | Disproved of { witness : float array; achieved : float }
+
+type entry = {
+  net_hash : string;
+  prop_hash : string;
+  property : Certificate.property;
+  verdict : verdict;
+  dir : string;
+  certified : int;
+}
+
+type hit = { entry : entry; exact : bool }
+
+type t = {
+  root : string;
+  lock : Mutex.t;
+  exact : (string, entry) Hashtbl.t;        (* prop_hash -> entry *)
+  by_net : (string, entry list) Hashtbl.t;  (* net_hash -> entries *)
+}
+
+let root t = t.root
+let entry_dir t ~prop_hash = Filename.concat t.root prop_hash
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Rebuild one entry from its certification directory, trusting only
+   what survives the existing integrity checks: journal lines carry
+   their own checksum (a torn tail parses to nothing), certificates
+   their own; every certificate must speak about the same network and
+   hash back to the directory's property hash. The last journal entry
+   per component wins, mirroring [Audit.run] and [--resume]. *)
+let recover_dir root name =
+  let dir = Filename.concat root name in
+  match Journal.load ~dir with
+  | [] -> None
+  | entries -> (
+      let net_hash = (List.hd entries).Journal.net_hash in
+      let prop_hash = (List.hd entries).Journal.prop_hash in
+      if
+        not
+          (List.for_all
+             (fun (e : Journal.entry) ->
+               e.Journal.net_hash = net_hash && e.Journal.prop_hash = prop_hash)
+             entries)
+      then None (* mixed questions in one directory: never trust *)
+      else begin
+        let last = Hashtbl.create 8 in
+        List.iter
+          (fun (e : Journal.entry) -> Hashtbl.replace last e.Journal.component e)
+          entries;
+        (* Settled components whose certificate parses and matches. *)
+        let settled = Hashtbl.create 8 in
+        let certified = ref 0 in
+        let property = ref None in
+        Hashtbl.iter
+          (fun component (e : Journal.entry) ->
+            match e.Journal.cert_file with
+            | None -> ()
+            | Some file -> (
+                match Journal.read_cert ~dir ~name:file with
+                | Error _ -> ()
+                | Ok blob -> (
+                    match Certificate.of_string blob with
+                    | Error _ -> ()
+                    | Ok cert ->
+                        if
+                          cert.Certificate.component = component
+                          && cert.Certificate.net_hash = net_hash
+                          && Certificate.property_hash ~net_hash
+                               cert.Certificate.property
+                             = prop_hash
+                        then begin
+                          incr certified;
+                          if !property = None then
+                            property := Some cert.Certificate.property;
+                          Hashtbl.replace settled component
+                            (e.Journal.verdict, cert)
+                        end)))
+          last;
+        match !property with
+        | None -> None
+        | Some property ->
+            let disproof =
+              Hashtbl.fold
+                (fun _ sc acc ->
+                  match (acc, sc) with
+                  | Some _, _ -> acc
+                  | ( None,
+                      ( "disproved",
+                        {
+                          Certificate.body =
+                            Certificate.Witness { input; achieved };
+                          _;
+                        } ) ) ->
+                      Some (Disproved { witness = input; achieved })
+                  | None, _ -> acc)
+                settled None
+            in
+            let verdict =
+              match disproof with
+              | Some d -> Some d
+              | None ->
+                  let all_proved =
+                    List.for_all
+                      (fun k ->
+                        match Hashtbl.find_opt settled k with
+                        | Some ("proved", _) -> true
+                        | _ -> false)
+                      (List.init property.Certificate.components Fun.id)
+                  in
+                  if all_proved then Some Proved else None
+            in
+            Option.map
+              (fun verdict ->
+                {
+                  net_hash;
+                  prop_hash;
+                  property;
+                  verdict;
+                  dir;
+                  certified = !certified;
+                })
+              verdict
+      end)
+
+let add_locked t e =
+  Hashtbl.replace t.exact e.prop_hash e;
+  let others =
+    match Hashtbl.find_opt t.by_net e.net_hash with
+    | None -> []
+    | Some l -> List.filter (fun o -> o.prop_hash <> e.prop_hash) l
+  in
+  Hashtbl.replace t.by_net e.net_hash (e :: others)
+
+let open_ ~dir =
+  Journal.init dir;
+  let t =
+    {
+      root = dir;
+      lock = Mutex.create ();
+      exact = Hashtbl.create 64;
+      by_net = Hashtbl.create 8;
+    }
+  in
+  Array.iter
+    (fun name ->
+      match Sys.is_directory (Filename.concat dir name) with
+      | true -> Option.iter (add_locked t) (recover_dir dir name)
+      | false | (exception Sys_error _) -> ())
+    (Sys.readdir dir);
+  t
+
+(* Subsumption. A proved box covers any contained box at any
+   no-tighter threshold; a disproving witness refutes any box that
+   contains it at any threshold its replayed output still beats. Both
+   implications are checkable without a solver, which is what makes
+   serving them from the cache honest: the backing certificates replay
+   for the stored property, and the step from stored to queried
+   property is pure interval arithmetic. *)
+let box_subset inner outer =
+  Array.length inner = Array.length outer
+  && Array.for_all2
+       (fun (lo', hi') (lo, hi) -> lo <= lo' && hi' <= hi)
+       inner outer
+
+let point_in_box x box =
+  Array.length x = Array.length box
+  && Array.for_all2 (fun v (lo, hi) -> lo <= v && v <= hi) x box
+
+let subsumes (e : entry) (q : Certificate.property) =
+  e.property.Certificate.components = q.Certificate.components
+  && e.property.Certificate.bound_mode = q.Certificate.bound_mode
+  &&
+  match e.verdict with
+  | Proved ->
+      q.Certificate.threshold >= e.property.Certificate.threshold
+      && box_subset q.Certificate.box e.property.Certificate.box
+  | Disproved { witness; achieved } ->
+      achieved > q.Certificate.threshold
+      && point_in_box witness q.Certificate.box
+
+let lookup ?(exact_only = false) t ~net_hash property =
+  let prop_hash = Certificate.property_hash ~net_hash property in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.exact prop_hash with
+      | Some entry -> Some { entry; exact = true }
+      | None ->
+          if exact_only then None
+          else
+            Option.map
+              (fun entry -> { entry; exact = false })
+              (match Hashtbl.find_opt t.by_net net_hash with
+               | None -> None
+               | Some l -> List.find_opt (fun e -> subsumes e property) l))
+
+let record t ~net_hash property =
+  let prop_hash = Certificate.property_hash ~net_hash property in
+  match recover_dir t.root prop_hash with
+  | None -> None
+  | Some e ->
+      (* The directory name is the key; a directory whose contents hash
+         to a different question is never indexed under it. *)
+      if e.prop_hash <> prop_hash || e.net_hash <> net_hash then None
+      else begin
+        locked t (fun () -> add_locked t e);
+        Some e
+      end
+
+let size t = locked t (fun () -> Hashtbl.length t.exact)

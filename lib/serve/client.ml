@@ -1,0 +1,59 @@
+let connect ~timeout address =
+  let fd, sockaddr =
+    match address with
+    | Protocol.Unix_socket path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) ->
+        let addr =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+         Unix.ADDR_INET (addr, port))
+  in
+  match
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+    Unix.connect fd sockaddr
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Protocol.address_to_string address)
+           (Unix.error_message e))
+
+let call ?(timeout = 120.0) address request =
+  match connect ~timeout address with
+  | Error _ as e -> e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Protocol.write_frame fd (Protocol.render_request request) with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+          | exception Invalid_argument msg -> Error msg
+          | () -> (
+              match Protocol.read_frame fd with
+              | Error _ as e -> e
+              | Ok payload -> Protocol.parse_response payload))
+
+let wait_ready ?(timeout = 10.0) address =
+  let deadline = Linalg.Mclock.now () +. timeout in
+  let rec poll last_err =
+    if Linalg.Mclock.now () > deadline then
+      Error
+        (Printf.sprintf "server at %s not ready after %gs (%s)"
+           (Protocol.address_to_string address)
+           timeout last_err)
+    else
+      match call ~timeout:1.0 address Protocol.Status with
+      | Ok (Protocol.Stats s) -> Ok s
+      | Ok _ -> Error "unexpected reply to status"
+      | Error e ->
+          (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
+          poll e
+  in
+  poll "no attempt yet"

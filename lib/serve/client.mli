@@ -1,0 +1,21 @@
+(** Thin client for a running [depnn serve] daemon: connect, send one
+    framed request, read one framed response, close. All failure modes
+    — refused connection, transport error, malformed reply — come back
+    as [Error], never an exception, so callers (the CLI, the tests, the
+    bench harness) handle a dead server the same way as a protocol
+    [error] line. *)
+
+val call :
+  ?timeout:float ->
+  Protocol.address ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** One request/response exchange. [timeout] (default 120 s) bounds the
+    socket reads and writes, not the server's solve: the server clamps
+    solve budgets itself, so set this above the query's time limit. *)
+
+val wait_ready :
+  ?timeout:float -> Protocol.address -> (Protocol.stats, string) result
+(** Poll [status] until the server answers or [timeout] (default 10 s)
+    elapses — the "server has bound its socket" barrier for scripts and
+    tests that just forked or spawned one. *)

@@ -1,0 +1,417 @@
+let max_frame = 1 lsl 20
+let magic = "depnn1"
+let max_header = 80
+
+(* {1 Transport} *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let write_frame fd payload =
+  if String.length payload > max_frame then
+    invalid_arg "Protocol.write_frame: payload exceeds max_frame";
+  let header =
+    Printf.sprintf "%s %d %s\n" magic (String.length payload)
+      (Certify.Chash.of_string payload)
+  in
+  (* One write: the header is tiny, so header+payload usually lands in
+     a single segment and a reader never observes a headerless tail. *)
+  write_all fd (header ^ payload)
+
+(* Byte-at-a-time header read: headers are ~40 bytes once per query,
+   and it keeps the reader allocation-bounded with no look-ahead into
+   the payload. *)
+let read_header fd =
+  let buf = Buffer.create max_header in
+  let one = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > max_header then Error "oversized frame header"
+    else
+      match Unix.read fd one 0 1 with
+      | 0 -> Error "connection closed before frame header"
+      | _ ->
+          let c = Bytes.get one 0 in
+          if c = '\n' then Ok (Buffer.contents buf)
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+  in
+  go ()
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  let short = ref false in
+  while (not !short) && !got < n do
+    match Unix.read fd b !got (n - !got) with
+    | 0 -> short := true
+    | k -> got := !got + k
+  done;
+  if !short then Error "connection closed mid-payload"
+  else Ok (Bytes.to_string b)
+
+let read_frame fd =
+  match
+    match read_header fd with
+    | Error _ as e -> e
+    | Ok header -> (
+        match String.split_on_char ' ' header with
+        | [ m; len; sum ] when m = magic -> (
+            match int_of_string_opt len with
+            | Some n when n >= 1 && n <= max_frame -> (
+                match read_exact fd n with
+                | Error _ as e -> e
+                | Ok payload ->
+                    if Certify.Chash.of_string payload <> sum then
+                      Error "frame checksum mismatch"
+                    else Ok payload)
+            | Some _ | None -> Error "bad frame length")
+        | _ -> Error "bad frame magic")
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "transport error: %s" (Unix.error_message e))
+
+(* {1 Grammar} *)
+
+type query = {
+  property : Certify.Certificate.property;
+  net_hash : string option;
+  time_limit : float option;
+  exact_only : bool;
+}
+
+type request =
+  | Verify of query
+  | Predict of float array
+  | Status
+  | Shutdown
+
+type cache = Cache_exact | Cache_subsumed | Cache_miss
+
+type verdict =
+  | V_proved
+  | V_disproved of { witness : float array; achieved : float }
+  | V_unknown of { best_bound : float }
+
+type answer = {
+  verdict : verdict;
+  cache : cache;
+  certified : int;
+  prop_hash : string;
+  cert_dir : string;
+  solve_s : float;
+}
+
+type stats = {
+  uptime_s : float;
+  workers : int;
+  failed_workers : int;
+  queue_depth : int;
+  queue_capacity : int;
+  queries : int;
+  served_exact : int;
+  served_subsumed : int;
+  solved : int;
+  rejected : int;
+  store_entries : int;
+}
+
+type response =
+  | Answer of answer
+  | Outputs of float array
+  | Stats of stats
+  | Shutting_down
+  | Refused of string
+
+let cache_string = function
+  | Cache_exact -> "exact"
+  | Cache_subsumed -> "subsumed"
+  | Cache_miss -> "miss"
+
+let fl = Printf.sprintf "%h"
+
+(* {2 Rendering} *)
+
+let render_request = function
+  | Verify q ->
+      let b = Buffer.create 2048 in
+      let line fmt =
+        Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+      in
+      let p = q.property in
+      line "%s" (if q.exact_only then "certify" else "verify");
+      line "net %s" (Option.value q.net_hash ~default:"-");
+      line "threshold %s" (fl p.Certify.Certificate.threshold);
+      line "components %d" p.Certify.Certificate.components;
+      line "bound-mode %s" p.Certify.Certificate.bound_mode;
+      line "time-limit %s"
+        (match q.time_limit with Some t -> fl t | None -> "-");
+      line "box %d" (Array.length p.Certify.Certificate.box);
+      Array.iter
+        (fun (lo, hi) -> line "%s %s" (fl lo) (fl hi))
+        p.Certify.Certificate.box;
+      Buffer.contents b
+  | Predict input ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf "predict\ninput %d\n" (Array.length input));
+      Array.iter
+        (fun x -> Buffer.add_string b (fl x ^ "\n"))
+        input;
+      Buffer.contents b
+  | Status -> "status\n"
+  | Shutdown -> "shutdown\n"
+
+let render_response = function
+  | Answer a ->
+      let b = Buffer.create 2048 in
+      let line fmt =
+        Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+      in
+      line "ok verify";
+      (match a.verdict with
+       | V_proved -> line "verdict proved"
+       | V_disproved { achieved; _ } -> line "verdict disproved %s" (fl achieved)
+       | V_unknown { best_bound } -> line "verdict unknown %s" (fl best_bound));
+      (match a.verdict with
+       | V_disproved { witness; _ } ->
+           line "witness %d" (Array.length witness);
+           Array.iter (fun x -> line "%s" (fl x)) witness
+       | V_proved | V_unknown _ -> ());
+      line "cache %s" (cache_string a.cache);
+      line "certified %d" a.certified;
+      line "prop %s" a.prop_hash;
+      line "solve %s" (fl a.solve_s);
+      line "dir %s" a.cert_dir;
+      Buffer.contents b
+  | Outputs out ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf "ok predict\noutput %d\n" (Array.length out));
+      Array.iter (fun x -> Buffer.add_string b (fl x ^ "\n")) out;
+      Buffer.contents b
+  | Stats s ->
+      Printf.sprintf
+        "ok status\n\
+         uptime %s\n\
+         workers %d\n\
+         failed-workers %d\n\
+         queue-depth %d\n\
+         queue-capacity %d\n\
+         queries %d\n\
+         served-exact %d\n\
+         served-subsumed %d\n\
+         solved %d\n\
+         rejected %d\n\
+         entries %d\n"
+        (fl s.uptime_s) s.workers s.failed_workers s.queue_depth
+        s.queue_capacity s.queries s.served_exact s.served_subsumed s.solved
+        s.rejected s.store_entries
+  | Shutting_down -> "ok shutdown\n"
+  | Refused reason -> Printf.sprintf "error %s\n" reason
+
+(* {2 Parsing}
+
+   Same defensive style as {!Certify.Certificate.of_string}: a cursor
+   over the lines, [Malformed] for anything unexpected, bounded counts
+   before any [Array.init], and a catch-all that turns every parser
+   exception into [Error]. *)
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> malformed "bad float %S" s
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some x -> x
+  | None -> malformed "bad int %S" s
+
+let split = String.split_on_char ' '
+
+(* Boxes and witnesses live in feature space (84-d today); 100k bounds
+   the allocation an adversarial frame can cause well under the frame
+   size itself. *)
+let max_dim = 100_000
+
+let cursor payload =
+  let lines = ref (String.split_on_char '\n' payload) in
+  fun () ->
+    match !lines with
+    | [] -> malformed "truncated payload"
+    | l :: rest ->
+        lines := rest;
+        l
+
+let expect_kv next key =
+  match split (next ()) with
+  | k :: rest when k = key -> String.concat " " rest
+  | _ -> malformed "expected %S line" key
+
+let parse_dim what n =
+  if n < 0 || n > max_dim then malformed "bad %s count %d" what n;
+  n
+
+let parse_query next ~exact_only =
+  let net_hash =
+    match expect_kv next "net" with "-" -> None | h -> Some h
+  in
+  let threshold = parse_float (expect_kv next "threshold") in
+  let components = parse_int (expect_kv next "components") in
+  let bound_mode = expect_kv next "bound-mode" in
+  let time_limit =
+    match expect_kv next "time-limit" with
+    | "-" -> None
+    | s -> Some (parse_float s)
+  in
+  let nbox = parse_dim "box" (parse_int (expect_kv next "box")) in
+  let box =
+    Array.init nbox (fun _ ->
+        match split (next ()) with
+        | [ lo; hi ] -> (parse_float lo, parse_float hi)
+        | _ -> malformed "bad box line")
+  in
+  Verify
+    {
+      property =
+        { Certify.Certificate.threshold; components; bound_mode; box };
+      net_hash;
+      time_limit;
+      exact_only;
+    }
+
+let parse_request payload =
+  try
+    let next = cursor payload in
+    match next () with
+    | "verify" -> Ok (parse_query next ~exact_only:false)
+    | "certify" -> Ok (parse_query next ~exact_only:true)
+    | "predict" ->
+        let n = parse_dim "input" (parse_int (expect_kv next "input")) in
+        Ok (Predict (Array.init n (fun _ -> parse_float (next ()))))
+    | "status" -> Ok Status
+    | "shutdown" -> Ok Shutdown
+    | op -> malformed "unknown operation %S" op
+  with
+  | Malformed m -> Error m
+  | Invalid_argument _ | Failure _ -> Error "malformed request"
+
+let parse_response payload =
+  try
+    let next = cursor payload in
+    match split (next ()) with
+    | [ "ok"; "verify" ] ->
+        let verdict, witness_pending =
+          match split (next ()) with
+          | [ "verdict"; "proved" ] -> (V_proved, false)
+          | [ "verdict"; "disproved"; achieved ] ->
+              ( V_disproved
+                  { witness = [||]; achieved = parse_float achieved },
+                true )
+          | [ "verdict"; "unknown"; bound ] ->
+              (V_unknown { best_bound = parse_float bound }, false)
+          | _ -> malformed "bad verdict line"
+        in
+        let verdict =
+          if not witness_pending then verdict
+          else
+            let n =
+              parse_dim "witness" (parse_int (expect_kv next "witness"))
+            in
+            let witness = Array.init n (fun _ -> parse_float (next ())) in
+            match verdict with
+            | V_disproved { achieved; _ } -> V_disproved { witness; achieved }
+            | _ -> assert false
+        in
+        let cache =
+          match expect_kv next "cache" with
+          | "exact" -> Cache_exact
+          | "subsumed" -> Cache_subsumed
+          | "miss" -> Cache_miss
+          | s -> malformed "bad cache status %S" s
+        in
+        let certified = parse_int (expect_kv next "certified") in
+        let prop_hash = expect_kv next "prop" in
+        let solve_s = parse_float (expect_kv next "solve") in
+        let cert_dir = expect_kv next "dir" in
+        Ok (Answer { verdict; cache; certified; prop_hash; cert_dir; solve_s })
+    | [ "ok"; "predict" ] ->
+        let n = parse_dim "output" (parse_int (expect_kv next "output")) in
+        Ok (Outputs (Array.init n (fun _ -> parse_float (next ()))))
+    | [ "ok"; "status" ] ->
+        let f key = parse_float (expect_kv next key) in
+        let i key = parse_int (expect_kv next key) in
+        let uptime_s = f "uptime" in
+        let workers = i "workers" in
+        let failed_workers = i "failed-workers" in
+        let queue_depth = i "queue-depth" in
+        let queue_capacity = i "queue-capacity" in
+        let queries = i "queries" in
+        let served_exact = i "served-exact" in
+        let served_subsumed = i "served-subsumed" in
+        let solved = i "solved" in
+        let rejected = i "rejected" in
+        let store_entries = i "entries" in
+        Ok
+          (Stats
+             {
+               uptime_s;
+               workers;
+               failed_workers;
+               queue_depth;
+               queue_capacity;
+               queries;
+               served_exact;
+               served_subsumed;
+               solved;
+               rejected;
+               store_entries;
+             })
+    | [ "ok"; "shutdown" ] -> Ok Shutting_down
+    | "error" :: reason -> Ok (Refused (String.concat " " reason))
+    | _ -> malformed "bad response header"
+  with
+  | Malformed m -> Error m
+  | Invalid_argument _ | Failure _ -> Error "malformed response"
+
+(* {1 Addresses} *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_of_string s =
+  let prefixed p =
+    if
+      String.length s > String.length p
+      && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path -> Ok (Unix_socket path)
+  | None -> (
+      match prefixed "tcp:" with
+      | Some rest -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error "expected tcp:HOST:PORT"
+          | Some i -> (
+              let host = String.sub rest 0 i in
+              let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+              | Some _ | None -> Error "bad tcp port"))
+      | None -> if s = "" then Error "empty address" else Ok (Unix_socket s))
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port

@@ -274,6 +274,64 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
     degraded = 0;
   }
 
+(* {2 Sessions}
+
+   One-time per-model state for callers that issue many queries against
+   the same loaded network (the [depnn serve] workers, campaign
+   scripts). Two things are hoisted out of the per-call path:
+
+   - the network's content hash, which [prove_certified] previously
+     recomputed on every call even though it can only change when the
+     model file is reloaded;
+   - the deterministic [tighten_rounds = 0] encoding of the most recent
+     (bound mode, box, lp core) question, so back-to-back queries over
+     the same box — different thresholds, a server's cache-miss burst —
+     skip the encoder entirely. The memo is sound because the certified
+     path never applies OBBT (the encoding depends only on the key) and
+     the solver copies the LP before mutating it.
+
+   A session is single-domain state: give each worker its own. *)
+type session = {
+  session_net : Nn.Network.t;
+  session_net_hash : string;
+  mutable session_enc :
+    ((Encoding.Encoder.bound_mode * float array * float array
+     * Lp.Simplex.core option)
+    * Encoding.Encoder.t)
+    option;
+}
+
+let create_session net =
+  {
+    session_net = net;
+    session_net_hash = Nn.Io.content_hash net;
+    session_enc = None;
+  }
+
+let session_net s = s.session_net
+let session_net_hash s = s.session_net_hash
+
+let session_encode session ~bound_mode ~cores ?lp_core net box =
+  let fresh () =
+    Encoding.Encoder.encode ~bound_mode ~tighten_rounds:0 ~cores ?lp_core net
+      box
+  in
+  match session with
+  | None -> fresh ()
+  | Some s -> (
+      let key =
+        ( bound_mode,
+          Array.map (fun (iv : Interval.t) -> iv.Interval.lo) box,
+          Array.map (fun (iv : Interval.t) -> iv.Interval.hi) box,
+          lp_core )
+      in
+      match s.session_enc with
+      | Some (k, enc) when k = key -> enc
+      | _ ->
+          let enc = fresh () in
+          s.session_enc <- Some (key, enc);
+          enc)
+
 (* The certifying / watchdogged prover. One component at a time,
    sequentially:
 
@@ -293,16 +351,17 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
    LP conclusions the checker would have to take on faith) and solves
    sequentially without analysis node bounds (prunes against a bound
    the certificate cannot replay would be [Leaf_uncertified]). *)
-let prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
+let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
     ~certify_dir ~resume ~watchdog ~components ~threshold net box =
   let started = Linalg.Mclock.now () in
   let deadline = started +. time_limit in
-  let enc =
-    Encoding.Encoder.encode ~bound_mode ~tighten_rounds:0 ~cores ?lp_core net
-      box
-  in
+  let enc = session_encode session ~bound_mode ~cores ?lp_core net box in
   let priority = Encoding.Encoder.layer_order_priority enc in
-  let net_hash = Nn.Io.content_hash net in
+  let net_hash =
+    match session with
+    | Some s -> s.session_net_hash
+    | None -> Nn.Io.content_hash net
+  in
   let property =
     {
       Certify.Certificate.threshold;
@@ -571,6 +630,14 @@ let prove_lateral_velocity_le ?(time_limit = 60.0)
   else
     prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core ~certify_dir
       ~resume ~watchdog ~components ~threshold net box
+
+let prove_in_session session ?(time_limit = 60.0)
+    ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(warm = true) ?lp_core
+    ?certify_dir ?(resume = false) ?(watchdog = true) ~components ~threshold
+    box =
+  prove_certified ~session ~time_limit ~bound_mode ~cores:1 ~warm ~lp_core
+    ~certify_dir ~resume ~watchdog ~components ~threshold session.session_net
+    box
 
 let sampled_max_lateral_velocity ~rng ~samples ~components net box =
   if samples <= 0 then invalid_arg "Driver.sampled_max_lateral_velocity";

@@ -181,6 +181,46 @@ val prove_lateral_velocity_le :
     failures instead of aborting the campaign ([degraded] counts the
     transitions). *)
 
+(** {2 Sessions}
+
+    Per-model state for callers that issue many queries against the
+    same loaded network — the [depnn serve] workers above all. The
+    session computes the network's {!Nn.Io.content_hash} {e once} at
+    creation (previously [prove_lateral_velocity_le] re-hashed the
+    network on every certified call) and memoises the deterministic
+    [tighten_rounds = 0] encoding of the most recent (bound mode, box,
+    lp core) question, so back-to-back queries over the same box skip
+    the encoder. A session is single-domain state: give each worker
+    domain its own. *)
+
+type session
+
+val create_session : Nn.Network.t -> session
+(** Hashes the network once and starts with an empty encoding memo. *)
+
+val session_net : session -> Nn.Network.t
+val session_net_hash : session -> string
+
+val prove_in_session :
+  session ->
+  ?time_limit:float ->
+  ?bound_mode:Encoding.Encoder.bound_mode ->
+  ?warm:bool ->
+  ?lp_core:Lp.Simplex.core ->
+  ?certify_dir:string ->
+  ?resume:bool ->
+  ?watchdog:bool ->
+  components:int ->
+  threshold:float ->
+  Interval.Box.box ->
+  proof_result
+(** The certifying/watchdogged decision query of
+    {!prove_lateral_velocity_le}, with the session's cached hash and
+    encoding memo threaded through. [watchdog] defaults to [true] here
+    (a server must degrade to an honest [Unknown], never abort), and
+    the solve is sequential within the session — parallelism belongs to
+    the caller's worker pool. *)
+
 val sampled_max_lateral_velocity :
   rng:Linalg.Rng.t ->
   samples:int ->
