@@ -113,9 +113,16 @@ let load ~dir =
    and an atomic rename: a crash leaves either the old file, no file,
    or the complete new file — never a half-written certificate that a
    resume could half-trust (its checksum would fail anyway; the rename
-   makes the common case clean). *)
+   makes the common case clean). The temp name carries the writer's
+   pid and domain id so two concurrent writers (server workers racing
+   on a directory) can never interleave into — or rename — each
+   other's half-written temp file. *)
 let write_cert ~dir ~name content =
-  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf "%s.%d.%d.tmp" name (Unix.getpid ())
+         (Domain.self () :> int))
+  in
   let path = Filename.concat dir name in
   let fd =
     Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644

@@ -30,6 +30,8 @@ val load : dir:string -> entry list
     Missing journal = empty list. *)
 
 val write_cert : dir:string -> name:string -> string -> unit
-(** Atomic write of a certificate blob (temp + fsync + rename). *)
+(** Atomic write of a certificate blob (temp + fsync + rename); the
+    temp name is unique per pid and domain, so concurrent writers
+    never rename each other's half-written file. *)
 
 val read_cert : dir:string -> name:string -> (string, string) result

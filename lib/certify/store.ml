@@ -60,6 +60,11 @@ let recover_dir root name =
           (fun component (e : Journal.entry) ->
             match e.Journal.cert_file with
             | None -> ()
+            (* An [unknown] entry can carry a certificate file — the
+               emitter journals a failed self-audit that way — and must
+               never count as settled. *)
+            | Some _ when e.Journal.verdict <> "proved"
+                          && e.Journal.verdict <> "disproved" -> ()
             | Some file -> (
                 match Journal.read_cert ~dir ~name:file with
                 | Error _ -> ()

@@ -1,28 +1,31 @@
 let connect ~timeout address =
-  let fd, sockaddr =
+  let resolved =
     match address with
-    | Protocol.Unix_socket path ->
-        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
-    | Protocol.Tcp (host, port) ->
-        let addr =
-          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-          with Not_found -> Unix.inet_addr_loopback
-        in
-        (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
-         Unix.ADDR_INET (addr, port))
+    | Protocol.Unix_socket path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) -> (
+        (* A typo'd host must error, not silently fall back to
+           loopback and query whatever happens to listen there. *)
+        match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+        | addr -> Ok (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+        | exception (Not_found | Invalid_argument _) ->
+            Error (Printf.sprintf "cannot resolve host %S" host))
   in
-  match
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-    Unix.connect fd sockaddr
-  with
-  | () -> Ok fd
-  | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error
-        (Printf.sprintf "cannot connect to %s: %s"
-           (Protocol.address_to_string address)
-           (Unix.error_message e))
+  match resolved with
+  | Error _ as e -> e
+  | Ok (domain, sockaddr) -> (
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+        Unix.connect fd sockaddr
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s"
+               (Protocol.address_to_string address)
+               (Unix.error_message e)))
 
 let call ?(timeout = 120.0) address request =
   match connect ~timeout address with

@@ -23,14 +23,24 @@ let write_frame fd payload =
      a single segment and a reader never observes a headerless tail. *)
   write_all fd (header ^ payload)
 
+(* A socket receive timeout bounds each [Unix.read], not the frame: a
+   slow-loris peer dribbling one byte per read would hold the reader
+   forever. [deadline] (absolute {!Linalg.Mclock} time) is checked
+   before every read, so a whole frame is bounded by the deadline plus
+   at most one socket timeout. *)
+let expired = function
+  | None -> false
+  | Some d -> Linalg.Mclock.now () > d
+
 (* Byte-at-a-time header read: headers are ~40 bytes once per query,
    and it keeps the reader allocation-bounded with no look-ahead into
    the payload. *)
-let read_header fd =
+let read_header ?deadline fd =
   let buf = Buffer.create max_header in
   let one = Bytes.create 1 in
   let rec go () =
     if Buffer.length buf > max_header then Error "oversized frame header"
+    else if expired deadline then Error "connection deadline exceeded"
     else
       match Unix.read fd one 0 1 with
       | 0 -> Error "connection closed before frame header"
@@ -44,28 +54,31 @@ let read_header fd =
   in
   go ()
 
-let read_exact fd n =
+let read_exact ?deadline fd n =
   let b = Bytes.create n in
   let got = ref 0 in
-  let short = ref false in
-  while (not !short) && !got < n do
-    match Unix.read fd b !got (n - !got) with
-    | 0 -> short := true
-    | k -> got := !got + k
+  let err = ref None in
+  while !err = None && !got < n do
+    if expired deadline then err := Some "connection deadline exceeded"
+    else
+      match Unix.read fd b !got (n - !got) with
+      | 0 -> err := Some "connection closed mid-payload"
+      | k -> got := !got + k
   done;
-  if !short then Error "connection closed mid-payload"
-  else Ok (Bytes.to_string b)
+  match !err with
+  | Some reason -> Error reason
+  | None -> Ok (Bytes.to_string b)
 
-let read_frame fd =
+let read_frame ?deadline fd =
   match
-    match read_header fd with
+    match read_header ?deadline fd with
     | Error _ as e -> e
     | Ok header -> (
         match String.split_on_char ' ' header with
         | [ m; len; sum ] when m = magic -> (
             match int_of_string_opt len with
             | Some n when n >= 1 && n <= max_frame -> (
-                match read_exact fd n with
+                match read_exact ?deadline fd n with
                 | Error _ as e -> e
                 | Ok payload ->
                     if Certify.Chash.of_string payload <> sum then

@@ -50,9 +50,13 @@ val write_frame : Unix.file_descr -> string -> unit
 (** Raises [Invalid_argument] if the payload exceeds {!max_frame};
     [Unix.Unix_error] on transport failure. *)
 
-val read_frame : Unix.file_descr -> (string, string) result
+val read_frame : ?deadline:float -> Unix.file_descr -> (string, string) result
 (** Never raises: transport errors, timeouts and malformed frames are
-    all [Error reason]. *)
+    all [Error reason]. [deadline] is an absolute {!Linalg.Mclock}
+    instant bounding the {e whole} frame: it is checked before every
+    read, so together with a socket receive timeout (which bounds each
+    individual read) a slow-loris peer dribbling bytes cannot hold the
+    reader past [deadline] plus one socket timeout. *)
 
 (** {2 Requests} *)
 

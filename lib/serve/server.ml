@@ -73,6 +73,43 @@ module Bqueue = struct
   let depth q = locked q (fun () -> Queue.length q.buf)
 end
 
+(* {1 In-flight solve registry}
+
+   Two workers that pop identical cache-miss queries must never solve
+   concurrently into the same certificate directory: their journal
+   appends and certificate writes would interleave. A worker holds its
+   query's property hash here for the duration of the solve; a worker
+   that draws a duplicate blocks until the first settles, then serves
+   the freshly recorded entry from the store. *)
+module Inflight = struct
+  type t = {
+    m : Mutex.t;
+    settled : Condition.t;
+    keys : (string, unit) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      settled = Condition.create ();
+      keys = Hashtbl.create 8;
+    }
+
+  let acquire t key =
+    Mutex.lock t.m;
+    while Hashtbl.mem t.keys key do
+      Condition.wait t.settled t.m
+    done;
+    Hashtbl.add t.keys key ();
+    Mutex.unlock t.m
+
+  let release t key =
+    Mutex.lock t.m;
+    Hashtbl.remove t.keys key;
+    Condition.broadcast t.settled;
+    Mutex.unlock t.m
+end
+
 type job = { fd : Unix.file_descr; query : Protocol.query }
 
 type t = {
@@ -81,6 +118,7 @@ type t = {
   net_hash : string;
   store : Certify.Store.t;
   queue : job Bqueue.t;
+  inflight : Inflight.t;
   stop : bool Atomic.t;
   started : float;
   (* stats *)
@@ -130,6 +168,13 @@ let validate t (q : Protocol.query) =
       (Printf.sprintf "network hash mismatch: server runs %s" t.net_hash)
   else if not (Float.is_finite p.Certify.Certificate.threshold) then
     Error "non-finite threshold"
+  else if
+    (* A NaN would slip through [Float.min] with the server's cap and
+       reach the solver as a deadline no comparison ever trips. *)
+    match q.Protocol.time_limit with
+    | Some t -> not (Float.is_finite t) || t < 0.0
+    | None -> false
+  then Error "time limit must be finite and >= 0"
   else if p.Certify.Certificate.components < 1 then
     Error "components must be >= 1"
   else if
@@ -181,8 +226,16 @@ let answer_of_entry ~cache (e : Certify.Store.entry) =
 let handle_job t session job =
   let q = job.query in
   let p = q.property in
-  (* Re-probe the exact key: another worker may have settled the same
-     question while this job sat in the queue (the classic dogpile). *)
+  let prop_hash = Certify.Certificate.property_hash ~net_hash:t.net_hash p in
+  (* Serialise duplicate misses on the exact key: a worker drawing a
+     question another worker is already solving waits for it instead of
+     racing into the same certificate directory. The re-probe below then
+     catches both the freshly settled duplicate and the classic dogpile
+     (the key was settled while this job sat in the queue). *)
+  Inflight.acquire t.inflight prop_hash;
+  Fun.protect
+    ~finally:(fun () -> Inflight.release t.inflight prop_hash)
+  @@ fun () ->
   match
     Certify.Store.lookup ~exact_only:true t.store ~net_hash:t.net_hash p
   with
@@ -194,9 +247,6 @@ let handle_job t session job =
         match Certify.Checker.mode_of_string p.Certify.Certificate.bound_mode with
         | Some m -> m
         | None -> assert false (* validated at accept *)
-      in
-      let prop_hash =
-        Certify.Certificate.property_hash ~net_hash:t.net_hash p
       in
       let dir = Certify.Store.entry_dir t.store ~prop_hash in
       let time_limit =
@@ -306,14 +356,18 @@ let stats_line t =
     (Atomic.get t.failed_workers)
 
 let handle_connection t fd =
-  (* A stalled or adversarial peer holds the accept loop for at most
-     the socket timeout, then gets a transport error. *)
+  (* Two stacked bounds on a stalled or adversarial peer: the socket
+     timeouts cap each individual read/write, and the wall-clock
+     deadline caps the whole request frame — so a slow-loris client
+     dribbling one byte per read holds the accept loop for at most the
+     deadline plus one socket timeout, then gets a protocol error. *)
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.0
    with Unix.Unix_error _ -> ());
+  let deadline = Linalg.Mclock.now () +. 10.0 in
   let finished =
-    match Protocol.read_frame fd with
+    match Protocol.read_frame ~deadline fd with
     | Error reason ->
         refuse t fd reason;
         true
@@ -396,8 +450,12 @@ let listen_socket config =
       fd
   | Protocol.Tcp (host, port) ->
       let addr =
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found -> Unix.inet_addr_loopback
+        (* A typo'd host must fail loudly, never silently bind
+           loopback and serve nobody the caller meant to reach. *)
+        match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+        | addr -> addr
+        | exception (Not_found | Invalid_argument _) ->
+            failwith (Printf.sprintf "cannot resolve host %S" host)
       in
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -417,6 +475,7 @@ let run ?(worker_hook = fun _ -> ()) config net =
       net_hash = Nn.Io.content_hash net;
       store = Certify.Store.open_ ~dir:config.cache_dir;
       queue = Bqueue.create config.queue_capacity;
+      inflight = Inflight.create ();
       stop = Atomic.make false;
       started = Linalg.Mclock.now ();
       queries = Atomic.make 0;

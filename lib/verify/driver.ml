@@ -420,18 +420,24 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
         in
         (* Self-check through the exact replay the independent audit
            runs: a certificate that would not survive the audit is
-           still written (the rejection stays explainable) but is not
-           counted as certified. *)
-        (match Certify.Audit.check_certificate net cert with
-         | Ok _ -> incr certified
-         | Error _ -> ());
+           still written (the rejection stays explainable) but is
+           journaled as [unknown] — neither a resume nor the serve
+           cache may ever trust a verdict whose own evidence does not
+           replay. *)
+        let audited =
+          match Certify.Audit.check_certificate net cert with
+          | Ok _ ->
+              incr certified;
+              true
+          | Error _ -> false
+        in
         let name = Printf.sprintf "component-%d.cert" k in
         Certify.Journal.write_cert ~dir ~name
           (Certify.Certificate.to_string cert);
         Certify.Journal.append ~dir
           {
             Certify.Journal.component = k;
-            verdict;
+            verdict = (if audited then verdict else "unknown");
             cert_file = Some name;
             net_hash;
             prop_hash;

@@ -106,6 +106,55 @@ let test_frame_malformed_rejected () =
   reject "immediate close" "";
   reject "endless header" (String.make 300 'h')
 
+let test_frame_deadline_enforced () =
+  (* Plumbing: an expired deadline rejects before reading; the frame is
+     still in the buffer, so a live deadline then reads it fine. *)
+  with_socketpair (fun a b ->
+      Serve.Protocol.write_frame a "payload";
+      (match
+         Serve.Protocol.read_frame ~deadline:(Linalg.Mclock.now () -. 1.0) b
+       with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "expired deadline accepted a frame");
+      match
+        Serve.Protocol.read_frame ~deadline:(Linalg.Mclock.now () +. 5.0) b
+      with
+      | Ok got -> Alcotest.(check string) "live deadline reads" "payload" got
+      | Error e -> Alcotest.fail e);
+  (* A slow-loris peer dribbling one byte per read is cut off at the
+     deadline — each byte resets a per-read socket timeout but not the
+     per-connection clock. *)
+  with_socketpair (fun a b ->
+      let writer =
+        Domain.spawn (fun () ->
+            try
+              for _ = 1 to 10 do
+                write_raw a "h";
+                Unix.sleepf 0.05
+              done
+            with Unix.Unix_error _ -> ())
+      in
+      let started = Linalg.Mclock.now () in
+      (match
+         Serve.Protocol.read_frame ~deadline:(started +. 0.15) b
+       with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "dribbled bytes parsed as a frame");
+      Alcotest.(check bool) "cut off near the deadline" true
+        (Linalg.Mclock.now () -. started < 0.45);
+      Domain.join writer)
+
+let test_client_bad_host_errors () =
+  match
+    Serve.Client.call ~timeout:1.0
+      (Serve.Protocol.Tcp ("no-such-host.depnn.invalid", 1))
+      Serve.Protocol.Status
+  with
+  | Error reason ->
+      Alcotest.(check bool) "resolution failure is explicit" true
+        (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "typo'd host reached a server"
+
 (* {1 Protocol grammar} *)
 
 let request_eq (a : Serve.Protocol.request) (b : Serve.Protocol.request) =
@@ -421,6 +470,18 @@ let test_server_cache_flow () =
        with
        | Ok (Serve.Protocol.Refused _) -> ()
        | _ -> Alcotest.fail "hash mismatch not refused");
+      (* A non-finite or negative budget is refused before it can poison
+         the solver's deadline (NaN survives [Float.min] with the cap
+         and would disarm the timeout check forever). *)
+      List.iter
+        (fun time_limit ->
+          match
+            Serve.Client.call address
+              (Serve.Protocol.Verify (query ~time_limit p))
+          with
+          | Ok (Serve.Protocol.Refused _) -> ()
+          | _ -> Alcotest.fail "bad time limit not refused")
+        [ Float.nan; Float.infinity; Float.neg_infinity; -1.0 ];
       (* predict matches the in-process forward pass. *)
       let x = Array.init 6 (fun i -> 0.01 *. float_of_int i) in
       (match call_ok address (Serve.Protocol.Predict x) with
@@ -536,6 +597,36 @@ let test_server_kill_restart_recover () =
       Alcotest.(check bool) "recovered certificates audit" true
         (rep.Certify.Audit.ok && rep.Certify.Audit.verdict = `Proved))
 
+let test_server_duplicate_misses_solve_once () =
+  let net = mini_predictor 94 in
+  let v = exact_max net (ibox 6 0.3) in
+  (* Slow the workers so both clients' identical query is in the pool
+     simultaneously: without the in-flight registry the two workers
+     would solve concurrently into the same certificate directory. *)
+  let hook _ = Unix.sleepf 0.2 in
+  with_server ~workers:2 ~worker_hook:hook net (fun address ->
+      let p = prop ~threshold:(v +. 0.5) () in
+      let answers =
+        Array.map Domain.join
+          (Array.init 2 (fun _ ->
+               Domain.spawn (fun () -> verify_answer address p)))
+      in
+      Array.iter
+        (fun a ->
+          Alcotest.(check bool) "both clients get the proof" true
+            (a.Serve.Protocol.verdict = Serve.Protocol.V_proved))
+        answers;
+      (match call_ok address Serve.Protocol.Status with
+       | Serve.Protocol.Stats s ->
+           Alcotest.(check int) "solved exactly once" 1 s.Serve.Protocol.solved;
+           Alcotest.(check int) "one cache entry" 1
+             s.Serve.Protocol.store_entries
+       | _ -> Alcotest.fail "expected stats");
+      let a = verify_answer address p in
+      let rep = Certify.Audit.run ~net ~dir:a.Serve.Protocol.cert_dir in
+      Alcotest.(check bool) "shared directory audits clean" true
+        (rep.Certify.Audit.ok && rep.Certify.Audit.verdict = `Proved))
+
 (* Concurrent clients: any interleaving of queries must produce exactly
    the verdicts the sequential driver produces — the cache and the
    worker pool may change latency, never answers. *)
@@ -598,6 +689,8 @@ let () =
           quick "frame round trip" test_frame_round_trip;
           quick "oversized write rejected" test_frame_oversized_write_rejected;
           quick "malformed frames rejected" test_frame_malformed_rejected;
+          quick "read deadline enforced" test_frame_deadline_enforced;
+          quick "bad host errors" test_client_bad_host_errors;
           quick "request round trip" test_request_round_trip;
           quick "response round trip" test_response_round_trip;
           quick "garbage requests rejected" test_garbage_requests_rejected;
@@ -611,6 +704,7 @@ let () =
       ( "daemon",
         [
           slow "cache flow over the socket" test_server_cache_flow;
+          slow "duplicate misses solve once" test_server_duplicate_misses_solve_once;
           slow "worker crash + respawn" test_server_worker_crash_respawn;
           slow "kill + restart + recover" test_server_kill_restart_recover;
         ] );
