@@ -8,7 +8,9 @@
      depnn train      --width 20 --epochs 20 --out predictor.net
      depnn verify     predictor.net --threshold 1.5 --time-limit 60
      depnn verify     predictor.net --certify certs/ --watchdog
+     depnn verify     predictor.net --split auto --certify certs/
      depnn audit      predictor.net certs/
+     depnn perturb    predictor.net --out perturbed.net
      depnn trace      predictor.net
      depnn simulate predictor.net
      depnn certify  --width 10
@@ -245,6 +247,61 @@ let train_cmd =
     Term.(const train $ seed_arg $ samples_arg $ risky_arg $ width_arg
           $ epochs_arg $ out)
 
+(* {1 perturb} *)
+
+(* One seeded relative nudge to one hidden weight: the minimal model
+   update. CI uses it to demonstrate that re-verifying a partitioned
+   question against the perturbed network answers most leaves from the
+   proof cache — disproving witnesses replay through the new weights
+   with one forward pass each, and only the leaves the evidence no
+   longer settles are re-solved. *)
+let perturb net_path seed scale out =
+  let net = Nn.Network.copy (Nn.Io.load net_path) in
+  let rng = Linalg.Rng.create seed in
+  let li = Linalg.Rng.int rng (Nn.Network.num_layers net) in
+  let w = (Nn.Network.layer net li).Nn.Layer.weights in
+  let r = Linalg.Rng.int rng (Linalg.Mat.rows w) in
+  let c = Linalg.Rng.int rng (Linalg.Mat.cols w) in
+  let old = Linalg.Mat.get w r c in
+  (* Relative when the weight is non-zero, absolute otherwise — a dead
+     weight must still move for the perturbation to mean anything. *)
+  let nudged =
+    if old = 0.0 then scale else old *. (1.0 +. scale)
+  in
+  Linalg.Mat.set w r c nudged;
+  Printf.printf "perturbed layer %d weight (%d,%d): %.17g -> %.17g\n" li r c
+    old nudged;
+  Nn.Io.save out net;
+  Printf.printf "saved %s to %s (hash %s)\n"
+    (Nn.Network.describe net) out (Nn.Io.content_hash net)
+
+let perturb_cmd =
+  let net =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"NETWORK" ~doc:"Trained network file to perturb.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1e-3
+      & info [ "scale" ] ~docv:"R"
+          ~doc:"Relative size of the nudge (absolute for a zero weight).")
+  in
+  let out =
+    Arg.(
+      value & opt string "perturbed.net"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Where to save the perturbed network.")
+  in
+  Cmd.v
+    (Cmd.info "perturb"
+       ~doc:
+         "Apply one seeded relative nudge to one weight and save the \
+          result under a new content hash — the smallest possible model \
+          update, for exercising cached re-verification.")
+    Term.(const perturb $ net $ seed_arg $ scale $ out)
+
 (* {1 verify} *)
 
 let net_arg =
@@ -254,7 +311,7 @@ let net_arg =
     & info [] ~docv:"NETWORK" ~doc:"Trained network file (depnn-network v1).")
 
 let verify net_path threshold time_limit slack cores portfolio bound_mode
-    lp_core certify_dir resume watchdog =
+    lp_core certify_dir resume watchdog split =
   apply_lp_core lp_core;
   let net = Nn.Io.load net_path in
   Printf.printf "verifying %s (%s, %s bounds, %s lp core)\n"
@@ -280,57 +337,83 @@ let verify net_path threshold time_limit slack cores portfolio bound_mode
     "bounds (active/inactive/unstable): interval %d/%d/%d, symbolic \
      %d/%d/%d\n"
     ia ii iu sa si su;
-  let r =
-    Verify.Driver.max_lateral_velocity ~time_limit ~cores ?portfolio
-      ~components ~bound_mode net box
-  in
-  (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
-   | Some v, true ->
+  (* A partitioned run is a decision query: the whole budget goes to
+     settling leaves against the threshold, not to the exact maximum. *)
+  (match split with
+   | Some _ ->
+       print_endline
+         "partitioned decision query: skipping the exact maximisation"
+   | None ->
+       let r =
+         Verify.Driver.max_lateral_velocity ~time_limit ~cores ?portfolio
+           ~components ~bound_mode net box
+       in
+       (match (r.Verify.Driver.value, r.Verify.Driver.optimal) with
+        | Some v, true ->
+            Printf.printf
+              "max lateral velocity with a vehicle on the left: %.6f m/s \
+               (exact)\n"
+              v
+        | Some v, false ->
+            Printf.printf
+              "best found %.6f m/s, proven bound %.6f (time limit hit)\n" v
+              r.Verify.Driver.upper_bound
+        | None, _ -> print_endline "n.a. (unable to find maximum)");
+       let st = r.Verify.Driver.encoder_stats in
        Printf.printf
-         "max lateral velocity with a vehicle on the left: %.6f m/s (exact)\n" v
-   | Some v, false ->
-       Printf.printf "best found %.6f m/s, proven bound %.6f (time limit hit)\n"
-         v r.Verify.Driver.upper_bound
-   | None, _ -> print_endline "n.a. (unable to find maximum)");
-  let st = r.Verify.Driver.encoder_stats in
-  Printf.printf
-    "encoding (%s, post-obbt): %d stable active, %d stable inactive, %d \
-     unstable; %d nodes, %.1fs\n"
-    (bound_mode_name bound_mode) st.Encoding.Encoder.stable_active
-    st.Encoding.Encoder.stable_inactive st.Encoding.Encoder.unstable
-    r.Verify.Driver.nodes r.Verify.Driver.elapsed;
-  Printf.printf "lp: %d rows x %d cols, %d nnz (density %.4f)\n"
-    st.Encoding.Encoder.rows st.Encoding.Encoder.cols st.Encoding.Encoder.nnz
-    st.Encoding.Encoder.density;
-  let fb = Lp.Simplex.sparse_fallbacks () in
-  if fb > 0 then
-    Printf.printf "lp: %d sparse solve%s fell back to the dense oracle\n" fb
-      (if fb = 1 then "" else "s");
-  Printf.printf "per-component solve time:%s\n"
-    (String.concat ""
-       (Array.to_list
-          (Array.map (Printf.sprintf " %.2fs") r.Verify.Driver.component_elapsed)));
-  let ob = r.Verify.Driver.obbt in
-  if ob.Encoding.Encoder.probes > 0 then
-    Printf.printf "obbt: %d probes (%d refined, %d failed, %d skipped by budget)\n"
-      ob.Encoding.Encoder.probes ob.Encoding.Encoder.refined
-      ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget;
+         "encoding (%s, post-obbt): %d stable active, %d stable inactive, %d \
+          unstable; %d nodes, %.1fs\n"
+         (bound_mode_name bound_mode) st.Encoding.Encoder.stable_active
+         st.Encoding.Encoder.stable_inactive st.Encoding.Encoder.unstable
+         r.Verify.Driver.nodes r.Verify.Driver.elapsed;
+       Printf.printf "lp: %d rows x %d cols, %d nnz (density %.4f)\n"
+         st.Encoding.Encoder.rows st.Encoding.Encoder.cols
+         st.Encoding.Encoder.nnz st.Encoding.Encoder.density;
+       let fb = Lp.Simplex.sparse_fallbacks () in
+       if fb > 0 then
+         Printf.printf "lp: %d sparse solve%s fell back to the dense oracle\n"
+           fb
+           (if fb = 1 then "" else "s");
+       Printf.printf "per-component solve time:%s\n"
+         (String.concat ""
+            (Array.to_list
+               (Array.map (Printf.sprintf " %.2fs")
+                  r.Verify.Driver.component_elapsed)));
+       let ob = r.Verify.Driver.obbt in
+       if ob.Encoding.Encoder.probes > 0 then
+         Printf.printf
+           "obbt: %d probes (%d refined, %d failed, %d skipped by budget)\n"
+           ob.Encoding.Encoder.probes ob.Encoding.Encoder.refined
+           ob.Encoding.Encoder.failed ob.Encoding.Encoder.skipped_budget);
   let proof =
     Verify.Driver.prove_lateral_velocity_le ~time_limit ~cores ?portfolio
-      ~components ~bound_mode ~threshold ?certify_dir ~resume ~watchdog net
-      box
+      ~components ~bound_mode ~threshold ?certify_dir ~resume ~watchdog ?split
+      net box
   in
-  if proof.Verify.Driver.presolved > 0 then
-    Printf.printf
-      "pre-pass discharged %d/%d components without search (%d nodes total)\n"
-      proof.Verify.Driver.presolved components proof.Verify.Driver.proof_nodes;
-  (match certify_dir with
-   | Some dir ->
-       Printf.printf
-         "certificates: %d/%d components certified in %s (%d resumed)\n"
-         proof.Verify.Driver.certified components dir
-         proof.Verify.Driver.resumed
-   | None -> ());
+  (match proof.Verify.Driver.partition with
+   | Some stats ->
+       (* One parsable line: CI greps the leaf accounting. *)
+       Printf.printf "partition: %s\n" (Verify.Partition.render_stats stats);
+       (match certify_dir with
+        | Some dir ->
+            Printf.printf
+              "certificates: %d across %d leaf directories in %s\n"
+              proof.Verify.Driver.certified stats.Verify.Partition.leaves dir
+        | None -> ())
+   | None ->
+       if proof.Verify.Driver.presolved > 0 then
+         Printf.printf
+           "pre-pass discharged %d/%d components without search (%d nodes \
+            total)\n"
+           proof.Verify.Driver.presolved components
+           proof.Verify.Driver.proof_nodes;
+       (match certify_dir with
+        | Some dir ->
+            Printf.printf
+              "certificates: %d/%d components certified in %s (%d resumed)\n"
+              proof.Verify.Driver.certified components dir
+              proof.Verify.Driver.resumed
+        | None -> ()));
   if proof.Verify.Driver.degraded > 0 then
     Printf.printf "watchdog: %d fallback transition%s taken\n"
       proof.Verify.Driver.degraded
@@ -379,6 +462,35 @@ let watchdog_arg =
            MILP, dense MILP, honest unknown) instead of aborting the \
            campaign on a timeout or numerical failure.")
 
+let split_conv =
+  let parse s =
+    match Verify.Partition.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected 'auto' or a split depth in 0..16")
+  in
+  let print ppf = function
+    | Verify.Partition.Auto -> Format.pp_print_string ppf "auto"
+    | Verify.Partition.Depth d -> Format.pp_print_int ppf d
+  in
+  Arg.conv (parse, print)
+
+let split_arg =
+  Arg.(
+    value
+    & opt (some split_conv) None
+    & info [ "split" ] ~docv:"POLICY"
+        ~env:(Cmd.Env.info "DEPNN_SPLIT")
+        ~doc:
+          "Partition-and-conquer: bisect the scenario box along its most \
+           influential inputs and settle each leaf independently — \
+           proof-store lookup first, then the zero-node symbolic \
+           pre-pass, then a MILP on the small box. $(b,auto) splits \
+           adaptively while the symbolic bound improves; an integer \
+           forces that uniform depth. With $(b,--certify) every leaf \
+           gets its own certificate directory plus a shard manifest \
+           that $(b,depnn audit) replays, and re-running (even after \
+           retraining) answers unchanged leaves from the cache.")
+
 let verify_cmd =
   let threshold =
     Arg.(value & opt float 1.5
@@ -397,19 +509,57 @@ let verify_cmd =
        ~doc:"Formally verify the vehicle-on-left safety property (pillar B).")
     Term.(const verify $ net_arg $ threshold $ time_limit $ slack $ cores_arg
           $ portfolio_arg $ bound_mode_arg $ lp_core_arg $ certify_dir_arg
-          $ resume_arg $ watchdog_arg)
+          $ resume_arg $ watchdog_arg $ split_arg)
 
 (* {1 audit} *)
 
-let audit net_path dir =
-  let net = Nn.Io.load net_path in
-  Printf.printf "auditing %s against %s\n" (Nn.Network.describe net) dir;
+let audit_plain ~net ~dir =
   let report = Certify.Audit.run ~net ~dir in
   print_string (Certify.Audit.render report);
   match report.Certify.Audit.verdict with
   | `Proved -> ()
   | `Disproved -> exit 1
   | `Unknown -> exit 2
+
+let audit net_path dir =
+  let net = Nn.Io.load net_path in
+  Printf.printf "auditing %s against %s\n" (Nn.Network.describe net) dir;
+  match Certify.Audit.shard_manifests ~dir with
+  | [] -> audit_plain ~net ~dir
+  | shards ->
+      (* A partitioned campaign: audit every shard manifest that speaks
+         about this network (a store root may also hold shards for other
+         networks — those are skipped, not failed). Exit code contract
+         as for plain audits, any confirmed disproof dominating. *)
+      let audited = ref 0 and skipped = ref 0 in
+      let disproved = ref false and all_proved = ref true in
+      List.iter
+        (fun name ->
+          match Certify.Audit.run_shard ~net ~dir ~name with
+          | Error "manifest is for a different network" ->
+              incr skipped;
+              Printf.printf "skipped %s (different network)\n" name
+          | Error reason ->
+              all_proved := false;
+              incr audited;
+              Printf.printf "rejected %s: %s\n" name reason
+          | Ok r ->
+              incr audited;
+              print_string (Certify.Audit.render_shard r);
+              if r.Certify.Audit.shard_verdict = `Disproved then
+                disproved := true
+              else if not (r.Certify.Audit.shard_ok && r.shard_verdict = `Proved)
+              then all_proved := false)
+        shards;
+      if !audited = 0 then begin
+        Printf.printf
+          "no shard manifest for this network (%d skipped); auditing as a \
+           plain campaign\n"
+          !skipped;
+        audit_plain ~net ~dir
+      end
+      else if !disproved then exit 1
+      else if not !all_proved then exit 2
 
 let audit_cmd =
   let dir =
@@ -424,7 +574,11 @@ let audit_cmd =
        ~doc:
          "Independently re-verify a certification directory: replay every \
           certificate with outward-rounded arithmetic, trusting nothing \
-          the solver concluded. Exit 0 = Proved, 1 = Disproved, 2 = \
+          the solver concluded. A directory holding shard manifests \
+          (written by $(b,verify --split --certify)) is audited as a \
+          partitioned campaign: the tiling geometry is re-established \
+          from each manifest's checksummed split tree, then every leaf \
+          directory is replayed. Exit 0 = Proved, 1 = Disproved, 2 = \
           Unknown or any rejected certificate.")
     Term.(const audit $ net_arg $ dir)
 
@@ -676,7 +830,7 @@ let socket_arg =
            or a bare path (unix socket).")
 
 let serve net_path socket workers cache_dir queue max_time stats_interval
-    lp_core =
+    lp_core split =
   apply_lp_core lp_core;
   let net = Nn.Io.load net_path in
   Printf.printf "serving %s (hash %s) on %s\n%!"
@@ -690,6 +844,7 @@ let serve net_path socket workers cache_dir queue max_time stats_interval
       max_time_limit = max_time;
       stats_interval;
       handle_signals = true;
+      split;
     }
   in
   Serve.Server.run config net
@@ -731,7 +886,7 @@ let serve_cmd =
           subsuming verified box), solved and certified otherwise. \
           SIGINT/SIGTERM drain the queue and shut down cleanly.")
     Term.(const serve $ net_arg $ socket_arg $ workers $ cache_dir $ queue
-          $ max_time $ stats_interval $ lp_core_arg)
+          $ max_time $ stats_interval $ lp_core_arg $ split_arg)
 
 (* The client builds the same deterministic scenario box as [verify], so
    two processes asking the same question serialise bit-identical
@@ -899,7 +1054,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; data_audit_cmd; audit_cmd; train_cmd; verify_cmd; trace_cmd;
-            simulate_cmd; certify_cmd; fault_cmd; guard_cmd; serve_cmd;
-            client_cmd;
+            generate_cmd; data_audit_cmd; audit_cmd; train_cmd; perturb_cmd;
+            verify_cmd; trace_cmd; simulate_cmd; certify_cmd; fault_cmd;
+            guard_cmd; serve_cmd; client_cmd;
           ]))

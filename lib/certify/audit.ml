@@ -421,3 +421,149 @@ let render r =
         | Some k -> Printf.sprintf " (%d component(s) expected)" k
         | None -> ""));
   Buffer.contents b
+
+(* --- sharded campaigns ---------------------------------------------- *)
+
+type shard_leaf = {
+  leaf_index : int;
+  leaf_hash : string;
+  leaf_verdict : [ `Proved | `Disproved | `Unknown ];
+  leaf_ok : bool;
+  leaf_detail : string;
+}
+
+type shard_report = {
+  shard_parent : string;
+  shard_net : string;
+  shard_leaves : shard_leaf array;
+  shard_verdict : [ `Proved | `Disproved | `Unknown ];
+  shard_ok : bool;
+}
+
+let shard_manifests ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      List.sort compare
+        (List.filter
+           (fun n -> Filename.check_suffix n ".shard")
+           (Array.to_list names))
+
+let run_shard ~net ~dir ~name =
+  let net_hash = Nn.Io.content_hash net in
+  match Journal.read_cert ~dir ~name with
+  | Error m -> Error m
+  | Ok blob -> (
+      match Shard.of_string blob with
+      | Error m -> Error m
+      | Ok m ->
+          if m.Shard.net_hash <> net_hash then
+            Error "manifest is for a different network"
+          else begin
+            let parent = Shard.parent_hash m in
+            if Shard.manifest_name ~prop_hash:parent <> name then
+              Error "manifest name does not match its question"
+            else
+              match Shard.check m with
+              | Error reason -> Error ("tiling rejected: " ^ reason)
+              | Ok _tiles ->
+                  let audit_leaf i leaf_hash =
+                    let leaf_dir = Filename.concat dir leaf_hash in
+                    match Journal.load ~dir:leaf_dir with
+                    | [] ->
+                        {
+                          leaf_index = i;
+                          leaf_hash;
+                          leaf_verdict = `Unknown;
+                          leaf_ok = false;
+                          leaf_detail = "no certification directory";
+                        }
+                    | entries
+                      when List.exists
+                             (fun (e : Journal.entry) ->
+                               e.Journal.prop_hash <> leaf_hash)
+                             entries ->
+                        (* [run] only checks internal consistency; the
+                           shard audit additionally pins the directory
+                           to the tile the manifest claims it covers. *)
+                        {
+                          leaf_index = i;
+                          leaf_hash;
+                          leaf_verdict = `Unknown;
+                          leaf_ok = false;
+                          leaf_detail = "leaf directory answers a different question";
+                        }
+                    | _ ->
+                        let r = run ~net ~dir:leaf_dir in
+                        {
+                          leaf_index = i;
+                          leaf_hash;
+                          leaf_verdict = r.verdict;
+                          leaf_ok = r.ok;
+                          leaf_detail =
+                            (if r.ok then ""
+                             else
+                               match
+                                 List.find_opt
+                                   (fun c ->
+                                     match c.status with
+                                     | Rejected _ -> true
+                                     | _ -> false)
+                                   r.components
+                               with
+                               | Some { status = Rejected why; _ } -> why
+                               | _ -> "unsettled");
+                        }
+                  in
+                  let leaves = Array.mapi audit_leaf m.Shard.leaf_hashes in
+                  let disproved =
+                    Array.exists
+                      (fun l -> l.leaf_ok && l.leaf_verdict = `Disproved)
+                      leaves
+                  in
+                  let all_proved =
+                    Array.for_all
+                      (fun l -> l.leaf_ok && l.leaf_verdict = `Proved)
+                      leaves
+                  in
+                  let shard_verdict =
+                    if disproved then `Disproved
+                    else if all_proved then `Proved
+                    else `Unknown
+                  in
+                  Ok
+                    {
+                      shard_parent = parent;
+                      shard_net = net_hash;
+                      shard_leaves = leaves;
+                      shard_verdict;
+                      shard_ok = disproved || all_proved;
+                    }
+          end)
+
+let render_shard r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "shard audit of question %s (network %s)\n" r.shard_parent
+       r.shard_net);
+  let count p = Array.fold_left (fun n l -> if p l then n + 1 else n) 0 in
+  Buffer.add_string b
+    (Printf.sprintf "  %d leaves: %d proved, %d disproved, %d unsettled\n"
+       (Array.length r.shard_leaves)
+       (count (fun l -> l.leaf_ok && l.leaf_verdict = `Proved) r.shard_leaves)
+       (count (fun l -> l.leaf_ok && l.leaf_verdict = `Disproved) r.shard_leaves)
+       (count (fun l -> not l.leaf_ok) r.shard_leaves));
+  Array.iter
+    (fun l ->
+      if not l.leaf_ok then
+        Buffer.add_string b
+          (Printf.sprintf "  leaf %d (%s): %s\n" l.leaf_index l.leaf_hash
+             l.leaf_detail))
+    r.shard_leaves;
+  Buffer.add_string b
+    (Printf.sprintf "verdict: %s\n"
+       (match r.shard_verdict with
+        | `Proved -> "Proved"
+        | `Disproved -> "Disproved"
+        | `Unknown -> "Unknown"));
+  Buffer.contents b

@@ -52,3 +52,46 @@ val run : net:Nn.Network.t -> dir:string -> report
 
 val render : report -> string
 (** Plain-text per-component summary for the CLI and CI logs. *)
+
+(** {2 Sharded (partitioned) campaigns}
+
+    A partition-and-conquer run leaves one certification directory per
+    leaf box plus a {!Shard} manifest recording the split tree. The
+    shard audit first re-establishes the geometry — recomputed tiles
+    must hash to the very directories the manifest names — and then
+    audits every leaf directory exactly as {!run} would. *)
+
+type shard_leaf = {
+  leaf_index : int;
+  leaf_hash : string;  (** the leaf's property hash / directory name *)
+  leaf_verdict : [ `Proved | `Disproved | `Unknown ];
+  leaf_ok : bool;
+  leaf_detail : string;  (** reason when not ok (missing, rejected …) *)
+}
+
+type shard_report = {
+  shard_parent : string;  (** parent property hash *)
+  shard_net : string;
+  shard_leaves : shard_leaf array;
+  shard_verdict : [ `Proved | `Disproved | `Unknown ];
+      (** [`Proved] only when {e every} tile audits to a confirmed
+          proof; [`Disproved] when any tile audits to a confirmed
+          witness (the tiling check guarantees the tile — hence the
+          witness — lies inside the parent box); [`Unknown] otherwise *)
+  shard_ok : bool;
+}
+
+val shard_manifests : dir:string -> string list
+(** Names (not paths) of the [*.shard] manifests in [dir], sorted. *)
+
+val run_shard :
+  net:Nn.Network.t -> dir:string -> name:string -> (shard_report, string) result
+(** Audit the shard manifest [name] under root [dir]: checksum and
+    parse it, reject it outright if it speaks about a different network
+    or its file name does not match its parent question, verify the
+    tiling ({!Shard.check}), then audit each leaf directory. A missing
+    or rejected leaf degrades the parent verdict to [`Unknown] — except
+    that one confirmed disproof settles the parent regardless of the
+    other leaves. *)
+
+val render_shard : shard_report -> string

@@ -44,6 +44,25 @@ let property_hash ~net_hash p =
     p.box;
   Chash.hex h
 
+(* Net-independent digest of the question alone. The proof store keys a
+   secondary index on it so the same leaf box asked about a retrained
+   or perturbed network can be found and revalidated against the new
+   weights — a distinct magic string keeps it from ever colliding with
+   a real property hash. *)
+let property_key p =
+  let h = Chash.create () in
+  Chash.string h "depnn-property-key v1";
+  Chash.float h p.threshold;
+  Chash.int h p.components;
+  Chash.string h p.bound_mode;
+  Chash.int h (Array.length p.box);
+  Array.iter
+    (fun (lo, hi) ->
+      Chash.float h lo;
+      Chash.float h hi)
+    p.box;
+  Chash.hex h
+
 (* Fingerprint of the MILP model a tree certificate talks about: rows
    (terms, sense, rhs), variable bounds and the integer marking — the
    complete semantics of the feasible set. Names and the objective are

@@ -65,6 +65,13 @@ val property_hash : net_hash:string -> property -> string
     so a resumed campaign never reuses conclusions proved about a
     different threshold, box, mode or network. *)
 
+val property_key : property -> string
+(** Net-independent digest of the question alone (threshold, components,
+    bound mode, box). Lets the proof store find entries about the same
+    question under a {e different} network, whose evidence may
+    revalidate against the current weights. Uses a distinct magic
+    string, so it never collides with a {!property_hash}. *)
+
 val model_fingerprint : Milp.Model.t -> string
 (** Digest of a MILP model's feasible set: rows (terms, sense, rhs),
     variable bounds and integer markings. The objective and all names

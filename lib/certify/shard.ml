@@ -1,0 +1,224 @@
+type tree =
+  | Split of { dim : int; cut : float; below : tree; above : tree }
+  | Tile
+
+type manifest = {
+  net_hash : string;
+  property : Certificate.property;
+  tree : tree;
+  leaf_hashes : string array;
+}
+
+let rec leaf_count = function
+  | Tile -> 1
+  | Split { below; above; _ } -> leaf_count below + leaf_count above
+
+let leaf_property (p : Certificate.property) box = { p with Certificate.box }
+
+let tile_boxes parent tree =
+  let out = ref [] in
+  let rec walk box = function
+    | Tile -> out := box :: !out
+    | Split { dim; cut; below; above } ->
+        let lo, hi = box.(dim) in
+        let b = Array.copy box and a = Array.copy box in
+        b.(dim) <- (lo, cut);
+        a.(dim) <- (cut, hi);
+        walk b below;
+        walk a above
+  in
+  walk parent tree;
+  Array.of_list (List.rev !out)
+
+let manifest_name ~prop_hash = prop_hash ^ ".shard"
+
+let parent_hash m =
+  Certificate.property_hash ~net_hash:m.net_hash m.property
+
+(* The tiling check never re-derives where the splitter *should* have
+   cut — any cut inside the dimension's current range produces two
+   boxes whose union is the box, which is all soundness needs. What it
+   does pin down, bit-exactly, is *what question each leaf directory
+   answers*: the recomputed tile hashed with net, threshold, components
+   and bound mode must equal the directory name the manifest claims. *)
+let check m =
+  let n = Array.length m.property.Certificate.box in
+  let leaves = leaf_count m.tree in
+  if Array.length m.leaf_hashes <> leaves then
+    Error
+      (Printf.sprintf "manifest lists %d leaf hashes for %d tiles"
+         (Array.length m.leaf_hashes) leaves)
+  else begin
+    let bad = ref None in
+    let idx = ref 0 in
+    let out = ref [] in
+    let rec walk box = function
+      | Tile ->
+          let i = !idx in
+          incr idx;
+          let h =
+            Certificate.property_hash ~net_hash:m.net_hash
+              (leaf_property m.property box)
+          in
+          if h <> m.leaf_hashes.(i) && !bad = None then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "tile %d does not hash to its recorded leaf %s" i
+                   m.leaf_hashes.(i));
+          out := box :: !out
+      | Split { dim; cut; below; above } ->
+          if dim < 0 || dim >= n then begin
+            if !bad = None then
+              bad := Some (Printf.sprintf "split dimension %d out of range" dim)
+          end
+          else begin
+            let lo, hi = box.(dim) in
+            if Float.is_nan cut || cut < lo || cut > hi then begin
+              if !bad = None then
+                bad :=
+                  Some
+                    (Printf.sprintf "cut %h outside [%h, %h] on dim %d" cut lo
+                       hi dim)
+            end
+            else begin
+              let b = Array.copy box and a = Array.copy box in
+              b.(dim) <- (lo, cut);
+              a.(dim) <- (cut, hi);
+              walk b below;
+              walk a above
+            end
+          end
+    in
+    walk m.property.Certificate.box m.tree;
+    match !bad with
+    | Some reason -> Error reason
+    | None ->
+        if !idx <> leaves then Error "tiling walk lost tiles"
+        else Ok (Array.of_list (List.rev !out))
+  end
+
+(* --- serialisation (same conventions as Certificate) ---------------- *)
+
+let fl = Printf.sprintf "%h"
+
+let to_string m =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "depnn-shard v1";
+  line "net %s" m.net_hash;
+  line "threshold %s" (fl m.property.Certificate.threshold);
+  line "components %d" m.property.Certificate.components;
+  line "bound-mode %s" m.property.Certificate.bound_mode;
+  line "box %d" (Array.length m.property.Certificate.box);
+  Array.iter
+    (fun (lo, hi) -> line "%s %s" (fl lo) (fl hi))
+    m.property.Certificate.box;
+  let rec count = function
+    | Tile -> 1
+    | Split { below; above; _ } -> 1 + count below + count above
+  in
+  line "tree %d" (count m.tree);
+  let idx = ref 0 in
+  let rec emit = function
+    | Tile ->
+        line "tile %s" m.leaf_hashes.(!idx);
+        incr idx
+    | Split { dim; cut; below; above } ->
+        line "split %d %s" dim (fl cut);
+        emit below;
+        emit above
+  in
+  emit m.tree;
+  let payload = Buffer.contents b in
+  payload ^ Printf.sprintf "checksum %s\n" (Chash.of_string payload)
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> malformed "bad float %S" s
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some x -> x
+  | None -> malformed "bad int %S" s
+
+let split_ws s = String.split_on_char ' ' s
+
+let of_string raw =
+  try
+    let len = String.length raw in
+    if len = 0 then malformed "empty manifest";
+    let body_end =
+      match String.rindex_opt (String.sub raw 0 (len - 1)) '\n' with
+      | Some i -> i + 1
+      | None -> malformed "missing checksum line"
+    in
+    let payload = String.sub raw 0 body_end in
+    let sum_line = String.trim (String.sub raw body_end (len - body_end)) in
+    (match split_ws sum_line with
+     | [ "checksum"; sum ] ->
+         if Chash.of_string payload <> sum then
+           malformed "checksum mismatch (manifest mutated or truncated)"
+     | _ -> malformed "missing checksum line");
+    let lines = ref (String.split_on_char '\n' payload) in
+    let next () =
+      match !lines with
+      | [] -> malformed "truncated manifest"
+      | l :: rest ->
+          lines := rest;
+          l
+    in
+    let expect_kv key =
+      match split_ws (next ()) with
+      | k :: rest when k = key -> String.concat " " rest
+      | _ -> malformed "expected %S line" key
+    in
+    if next () <> "depnn-shard v1" then malformed "bad magic line";
+    let net_hash = expect_kv "net" in
+    let threshold = parse_float (expect_kv "threshold") in
+    let components = parse_int (expect_kv "components") in
+    let bound_mode = expect_kv "bound-mode" in
+    let nbox = parse_int (expect_kv "box") in
+    if nbox < 0 || nbox > 1_000_000 then malformed "bad box size";
+    let box =
+      Array.init nbox (fun _ ->
+          match split_ws (next ()) with
+          | [ lo; hi ] -> (parse_float lo, parse_float hi)
+          | _ -> malformed "bad box line")
+    in
+    let nodes = parse_int (expect_kv "tree") in
+    if nodes < 1 || nodes > 10_000_000 then malformed "bad tree size";
+    let hashes = ref [] in
+    let consumed = ref 0 in
+    let rec parse_tree () =
+      incr consumed;
+      if !consumed > nodes then malformed "tree larger than declared";
+      match split_ws (next ()) with
+      | [ "tile"; h ] ->
+          hashes := h :: !hashes;
+          Tile
+      | [ "split"; d; c ] ->
+          let dim = parse_int d and cut = parse_float c in
+          let below = parse_tree () in
+          let above = parse_tree () in
+          Split { dim; cut; below; above }
+      | _ -> malformed "bad tree line"
+    in
+    let tree = parse_tree () in
+    if !consumed <> nodes then malformed "tree smaller than declared";
+    (match !lines with
+     | [] | [ "" ] -> ()
+     | _ -> malformed "trailing data after tree");
+    Ok
+      {
+        net_hash;
+        property = { Certificate.threshold; components; bound_mode; box };
+        tree;
+        leaf_hashes = Array.of_list (List.rev !hashes);
+      }
+  with Malformed reason -> Error reason

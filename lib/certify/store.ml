@@ -16,8 +16,17 @@ type hit = { entry : entry; exact : bool }
 type t = {
   root : string;
   lock : Mutex.t;
-  exact : (string, entry) Hashtbl.t;        (* prop_hash -> entry *)
-  by_net : (string, entry list) Hashtbl.t;  (* net_hash -> entries *)
+  exact : (string, entry) Hashtbl.t;
+      (* prop_hash -> entry *)
+  by_net : (string, (string, entry) Hashtbl.t) Hashtbl.t;
+      (* net_hash -> prop_hash -> entry. Keyed twice so [record] is an
+         O(1) replace: a flat per-net list needed an O(n) de-duplicating
+         filter per record, which made recording n partition leaves
+         O(n²). *)
+  by_key : (string, (string, entry) Hashtbl.t) Hashtbl.t;
+      (* Certificate.property_key -> net_hash -> entry: the same
+         question asked about other networks (revalidation candidates
+         after a retrain or weight perturbation). *)
 }
 
 let root t = t.root
@@ -132,14 +141,20 @@ let recover_dir root name =
               verdict
       end)
 
+let sub_table tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some sub -> sub
+  | None ->
+      let sub = Hashtbl.create 16 in
+      Hashtbl.add tbl key sub;
+      sub
+
 let add_locked t e =
   Hashtbl.replace t.exact e.prop_hash e;
-  let others =
-    match Hashtbl.find_opt t.by_net e.net_hash with
-    | None -> []
-    | Some l -> List.filter (fun o -> o.prop_hash <> e.prop_hash) l
-  in
-  Hashtbl.replace t.by_net e.net_hash (e :: others)
+  Hashtbl.replace (sub_table t.by_net e.net_hash) e.prop_hash e;
+  Hashtbl.replace
+    (sub_table t.by_key (Certificate.property_key e.property))
+    e.net_hash e
 
 let open_ ~dir =
   Journal.init dir;
@@ -149,6 +164,7 @@ let open_ ~dir =
       lock = Mutex.create ();
       exact = Hashtbl.create 64;
       by_net = Hashtbl.create 8;
+      by_key = Hashtbl.create 64;
     }
   in
   Array.iter
@@ -200,7 +216,18 @@ let lookup ?(exact_only = false) t ~net_hash property =
               (fun entry -> { entry; exact = false })
               (match Hashtbl.find_opt t.by_net net_hash with
                | None -> None
-               | Some l -> List.find_opt (fun e -> subsumes e property) l))
+               | Some sub ->
+                   let found = ref None in
+                   (try
+                      Hashtbl.iter
+                        (fun _ e ->
+                          if subsumes e property then begin
+                            found := Some e;
+                            raise Exit
+                          end)
+                        sub
+                    with Exit -> ());
+                   !found))
 
 let record t ~net_hash property =
   let prop_hash = Certificate.property_hash ~net_hash property in
@@ -216,3 +243,19 @@ let record t ~net_hash property =
       end
 
 let size t = locked t (fun () -> Hashtbl.length t.exact)
+
+let net_entries t ~net_hash =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_net net_hash with
+      | None -> 0
+      | Some sub -> Hashtbl.length sub)
+
+let revalidation_candidates t ~net_hash property =
+  let key = Certificate.property_key property in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_key key with
+      | None -> []
+      | Some sub ->
+          Hashtbl.fold
+            (fun nh e acc -> if nh = net_hash then acc else e :: acc)
+            sub [])

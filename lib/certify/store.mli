@@ -74,3 +74,18 @@ val record : t -> net_hash:string -> Certificate.property -> entry option
 
 val size : t -> int
 (** Number of cached (settled) questions. *)
+
+val net_entries : t -> net_hash:string -> int
+(** Number of indexed entries for one network. The per-net index is
+    keyed by property hash, so re-recording the same question replaces
+    its entry instead of accumulating duplicates. *)
+
+val revalidation_candidates :
+  t -> net_hash:string -> Certificate.property -> entry list
+(** Entries answering the {e same} question (threshold, components,
+    bound mode, box — {!Certificate.property_key}) about a {e different}
+    network than [net_hash]. These are never served as hits directly:
+    the caller must revalidate the evidence against the current
+    network — replay a disproving witness forward, or re-establish a
+    proved bound with a fresh analysis of the current weights. At most
+    one entry per other network is kept. *)

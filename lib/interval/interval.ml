@@ -14,7 +14,23 @@ let top r =
   { lo = -.r; hi = r }
 
 let width i = i.hi -. i.lo
-let mid i = 0.5 *. (i.lo +. i.hi)
+
+(* The textbook [0.5 *. (lo +. hi)] overflows to [inf] when the sum of
+   two large finite bounds exceeds [max_float], and is NaN for
+   [-inf, inf] — and the partition splitter bisects at exactly this
+   point. Every branch below returns a finite value inside the interval
+   (clamped against the one rounding mode where [lo +. half-width] can
+   land one ulp outside). *)
+let mid i =
+  if i.lo = i.hi then i.lo
+  else if i.lo = neg_infinity then
+    if i.hi = infinity then 0.0 else Float.min i.hi (-.Float.max_float)
+  else if i.hi = infinity then Float.max i.lo Float.max_float
+  else begin
+    let m = i.lo +. (0.5 *. (i.hi -. i.lo)) in
+    let m = if Float.is_finite m then m else (0.5 *. i.lo) +. (0.5 *. i.hi) in
+    Float.min i.hi (Float.max i.lo m)
+  end
 let contains i x = i.lo <= x && x <= i.hi
 let subset a b = b.lo <= a.lo && a.hi <= b.hi
 

@@ -16,7 +16,13 @@ val top : float -> t
 (** [top r] is [\[-r, r\]]. *)
 
 val width : t -> float
+
 val mid : t -> float
+(** Overflow-safe midpoint: always a member of the interval, finite
+    whenever the interval has more than one finite point, and [0.0] for
+    [\[-inf, inf\]] (never NaN). Half-infinite intervals map to
+    [±max_float] clamped into the interval. *)
+
 val contains : t -> float -> bool
 val subset : t -> t -> bool
 (** [subset a b] iff [a ⊆ b]. *)

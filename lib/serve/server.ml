@@ -6,6 +6,7 @@ type config = {
   max_time_limit : float;
   stats_interval : float;
   handle_signals : bool;
+  split : Verify.Partition.policy option;
   log : string -> unit;
 }
 
@@ -18,6 +19,7 @@ let default_config ~address ~cache_dir () =
     max_time_limit = 60.0;
     stats_interval = 30.0;
     handle_signals = false;
+    split = None;
     log = (fun s -> Printf.eprintf "depnn-serve: %s\n%!" s);
   }
 
@@ -255,10 +257,18 @@ let handle_job t session job =
              ~default:t.config.max_time_limit)
       in
       let started = Linalg.Mclock.now () in
+      (* Under a [split] policy the leaves — not the parent question —
+         are what lands in the store: each settles into its own
+         hash-named directory under the store root (plus the shard
+         manifest), so the *next* parent query re-answers its leaves
+         from cache even though [record] below finds no parent entry.
+         Concurrent workers touching the same leaf directory only
+         duplicate work (O_APPEND journal, unique temp names), never
+         corrupt it. *)
       let r =
         Verify.Driver.prove_in_session session ~time_limit ~bound_mode
-          ~certify_dir:dir ~resume:true ~watchdog:true
-          ~components:p.Certify.Certificate.components
+          ~certify_dir:dir ~resume:true ~watchdog:true ?split:t.config.split
+          ~store:t.store ~components:p.Certify.Certificate.components
           ~threshold:p.Certify.Certificate.threshold (box_of p)
       in
       let solve_s = Linalg.Mclock.now () -. started in

@@ -40,13 +40,21 @@ type config = {
   stats_interval : float;   (** seconds between stats log lines; 0 = off *)
   handle_signals : bool;    (** install SIGINT/SIGTERM handlers (CLI);
                                 tests leave the process signals alone *)
+  split : Verify.Partition.policy option;
+      (** partition-and-conquer policy for cache-miss solves: each
+          query's box is split ({!Verify.Partition}) and its leaves are
+          looked up, revalidated or solved individually — every settled
+          leaf landing in the store as its own entry, so later queries
+          (and re-verification after swapping the served network)
+          answer leaves from cache. [None] (default) solves each query
+          monolithically. *)
   log : string -> unit;
 }
 
 val default_config :
   address:Protocol.address -> cache_dir:string -> unit -> config
 (** 2 workers, queue capacity 64, 60 s cap, stats every 30 s, signals
-    off, log to [stderr]. *)
+    off, no split, log to [stderr]. *)
 
 val run :
   ?worker_hook:(Protocol.query -> unit) ->

@@ -20,6 +20,23 @@ type max_result = {
   obbt : Encoding.Encoder.obbt_stats;
 }
 
+(* Equal-share budget slicing used to be a bare
+   [remaining / queue_len], which underflows to a near-zero slice once
+   the queue holds hundreds of partition leaves — every query then hits
+   its time limit during the root relaxation and the whole queue
+   degenerates into instant Unknowns. The floor gives every query a
+   slice worth starting; clamping to the live remaining time keeps the
+   whole-call deadline binding, and unused share still rolls forward
+   because callers recompute the slice from the clock as each query
+   starts. *)
+let min_query_slice = 0.2
+
+let budget_slice ?now ~deadline ~queue_len () =
+  let now = match now with Some t -> t | None -> Linalg.Mclock.now () in
+  let remaining = Float.max 0.0 (deadline -. now) in
+  Float.min remaining
+    (Float.max min_query_slice (remaining /. float_of_int (max 1 queue_len)))
+
 let witness_of_solution enc net ~component ~output_index solution =
   let input = Encoding.Encoder.input_point enc solution in
   let outputs = Nn.Network.forward net input in
@@ -93,11 +110,13 @@ let maximize_outputs ?(time_limit = 60.0)
          either), every query granted an equal share of the remaining
          budget up front. An explicit portfolio split takes the other
          branch: the caller asked for within-query parallelism. *)
-      let share =
-        Float.max 0.0
-          ((deadline -. Linalg.Mclock.now ()) /. float_of_int n_queries)
-      in
-      Milp.Parallel.map ~cores:(min cores n_queries)
+      (* Shares are spent concurrently, so the slice is sized for one
+         domain's sequential chain of queries, not for the whole queue —
+         which also stops under-granting by a factor of [cores]. *)
+      let fan_cores = min cores n_queries in
+      let per_domain = (n_queries + fan_cores - 1) / fan_cores in
+      let share = budget_slice ~deadline ~queue_len:per_domain () in
+      Milp.Parallel.map ~cores:fan_cores
         ~init:(fun () -> ())
         (fun () k -> run_query ~cores:1 ~portfolio:None ~per_query_limit:share k)
         queries
@@ -106,9 +125,7 @@ let maximize_outputs ?(time_limit = 60.0)
       let results = Array.make n_queries None in
       for qi = 0 to n_queries - 1 do
         let per_query_limit =
-          Float.max 0.0
-            ((deadline -. Linalg.Mclock.now ())
-            /. float_of_int (n_queries - qi))
+          budget_slice ~deadline ~queue_len:(n_queries - qi) ()
         in
         results.(qi) <-
           Some (run_query ~cores ~portfolio ~per_query_limit queries.(qi))
@@ -193,6 +210,7 @@ type proof_result = {
   certified : int;
   resumed : int;
   degraded : int;
+  partition : Partition.stats option;
 }
 
 (* The legacy uncertified prover: parallel/portfolio solves, OBBT
@@ -234,9 +252,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
     | k :: rest ->
         let output = Nn.Gmm.mu_lat_index ~components k in
         let per_query_limit =
-          Float.max 0.0
-            ((deadline -. Linalg.Mclock.now ())
-            /. float_of_int (List.length queue))
+          budget_slice ~deadline ~queue_len:(List.length queue) ()
         in
         let r =
           Milp.Parallel.solve ~cores ?portfolio ~time_limit:per_query_limit
@@ -272,6 +288,7 @@ let prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
     certified = 0;
     resumed = 0;
     degraded = 0;
+    partition = None;
   }
 
 (* {2 Sessions}
@@ -405,9 +422,11 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
              | _ -> () (* an unknown is not settled: try again *))
          (Certify.Journal.load ~dir)
    | _ -> ());
+  (* Returns whether the certificate replayed (always [true] without a
+     certification directory, where nothing is emitted). *)
   let emit k verdict body =
     match certify_dir with
-    | None -> ()
+    | None -> true
     | Some dir ->
         let cert =
           {
@@ -441,7 +460,8 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
             cert_file = Some name;
             net_hash;
             prop_hash;
-          }
+          };
+        audited
   in
   let journal_unknown k =
     Option.iter
@@ -524,25 +544,33 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
               { input; outputs; achieved = outputs.(output); component = k }
         | Some _ | None ->
             let analysis_ub = output_upper enc output in
-            if analysis_ub <= threshold then begin
-              (* Symbolic-only rung: free, and certifiable from the
-                 analysis's own bounding hyperplane. *)
-              incr presolved;
-              (if certify_dir <> None then
+            let discharged =
+              analysis_ub <= threshold
+              && (certify_dir = None
+                 ||
+                 (* Symbolic-only rung: free, and certifiable from the
+                    analysis's own bounding hyperplane — but only if
+                    that hyperplane survives the audit's outward-rounded
+                    replay. A marginal bound (analysis says [<=], the
+                    replay says [>]) must not settle the component on
+                    unreplayable evidence: it falls through to the MILP
+                    ladder, whose tree certificate replays leaf by
+                    leaf. *)
                  let coeffs, const =
                    Absint.Symbolic.output_upper_form (Lazy.force symbolic)
                      net ~output
                  in
                  emit k "proved"
                    (Certify.Certificate.Presolve
-                      { coeffs; const; bound = analysis_ub }));
+                      { coeffs; const; bound = analysis_ub }))
+            in
+            if discharged then begin
+              incr presolved;
               settle rest (Float.max worst_bound analysis_ub)
             end
             else begin
               let share =
-                Float.max 0.0
-                  ((deadline -. Linalg.Mclock.now ())
-                  /. float_of_int (List.length queue))
+                budget_slice ~deadline ~queue_len:(List.length queue) ()
               in
               let share_end = Linalg.Mclock.now () +. share in
               let rungs =
@@ -591,21 +619,25 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
               in
               match ladder 0 rungs with
               | `Proved leaves ->
-                  emit k "proved"
-                    (Certify.Certificate.Milp_tree
-                       { model_hash = Lazy.force model_hash; leaves });
+                  ignore
+                    (emit k "proved"
+                       (Certify.Certificate.Milp_tree
+                          { model_hash = Lazy.force model_hash; leaves })
+                      : bool);
                   settle rest (Float.max worst_bound threshold)
               | `Disproved solution ->
                   let witness =
                     witness_of_solution enc net ~component:k
                       ~output_index:output solution
                   in
-                  emit k "disproved"
-                    (Certify.Certificate.Witness
-                       {
-                         input = witness.input;
-                         achieved = witness.achieved;
-                       });
+                  ignore
+                    (emit k "disproved"
+                       (Certify.Certificate.Witness
+                          {
+                            input = witness.input;
+                            achieved = witness.achieved;
+                          })
+                      : bool);
                   Disproved witness
               | `Bound b ->
                   journal_unknown k;
@@ -624,26 +656,388 @@ let prove_certified ?session ~time_limit ~bound_mode ~cores ~warm ~lp_core
     certified = !certified;
     resumed = !resumed;
     degraded = !degraded;
+    partition = None;
+  }
+
+(* --- input-space partition-and-conquer ------------------------------
+
+   The plan ({!Partition.plan}) bisects the box along the most
+   influential input dimensions; every leaf then goes down a pipeline
+   ordered cheapest-first:
+
+   1. proof-store lookup for this network (exact or subsumed) — O(1),
+      no solver;
+   2. cross-network revalidation: an entry answering the *same* leaf
+      question about different weights is never served as-is, but its
+      disproving witness replays through the current network with one
+      forward pass — this is what makes re-verification after a
+      retrain or one-weight perturbation mostly-O(1). (A proved entry
+      revalidates through step 3: the fresh symbolic bound of the
+      *current* network; the stats then count the leaf as revalidated
+      rather than presolved.)
+   3. the symbolic pre-pass on the leaf box;
+   4. a MILP solve of the leaf box under a rolled-forward slice of the
+      whole-call budget.
+
+   With a shard root (an explicit store, or an implicit one opened on
+   the certification directory) every leaf settles into its own
+   hash-named certification directory, recorded into the store as it
+   lands, and a checksummed {!Certify.Shard} manifest pins the split
+   tree — so [depnn audit] re-establishes both the leaf verdicts and
+   the tiling geometry. One disproved leaf disproves the parent (its
+   witness lies inside the leaf box, hence inside the parent box) and
+   stops the campaign; in the plain-mode fan-out the leaves share that
+   incumbent through one atomic checked before each solve. *)
+let prove_partitioned ?session ~time_limit ~bound_mode ~cores ~portfolio
+    ~warm ~lp_core ~certify_dir ~store ~watchdog ~policy ~components
+    ~threshold net box =
+  let started = Linalg.Mclock.now () in
+  let deadline = started +. time_limit in
+  let net_hash =
+    match session with
+    | Some s -> s.session_net_hash
+    | None -> Nn.Io.content_hash net
+  in
+  let store =
+    match (store, certify_dir) with
+    | (Some _ as s), _ -> s
+    | None, Some dir -> Some (Certify.Store.open_ ~dir)
+    | None, None -> None
+  in
+  let shard_root =
+    match store with Some s -> Some (Certify.Store.root s) | None -> None
+  in
+  let mode = Certify.Checker.mode_string bound_mode in
+  let property_of (lbox : Interval.Box.box) =
+    {
+      Certify.Certificate.threshold;
+      components;
+      bound_mode = mode;
+      box =
+        Array.map
+          (fun (iv : Interval.t) -> (iv.Interval.lo, iv.Interval.hi))
+          lbox;
+    }
+  in
+  (* Planning is cheap symbolic work, but it must never starve the
+     solves it feeds: a quarter of the budget at most. *)
+  let plan =
+    Partition.plan ~policy ~deadline:(started +. (0.25 *. time_limit))
+      ~components ~threshold net box
+  in
+  let n = Array.length plan.Partition.boxes in
+  let leaf_props = Array.map property_of plan.Partition.boxes in
+  let leaf_hashes =
+    Array.map (Certify.Certificate.property_hash ~net_hash) leaf_props
+  in
+  (* The manifest goes down before any leaf is attempted: a killed
+     campaign still audits (to Unknown), and a re-run of the same
+     question overwrites it with identical bytes. *)
+  (match shard_root with
+   | None -> ()
+   | Some root ->
+       let parent_hash =
+         Certify.Certificate.property_hash ~net_hash (property_of box)
+       in
+       Certify.Journal.write_cert ~dir:root
+         ~name:(Certify.Shard.manifest_name ~prop_hash:parent_hash)
+         (Certify.Shard.to_string
+            {
+              Certify.Shard.net_hash;
+              property = property_of box;
+              tree = plan.Partition.tree;
+              leaf_hashes;
+            }));
+  let cached = ref 0 and revalidated = ref 0 and presolved_leaves = ref 0 in
+  let solved = ref 0 and unsettled = ref 0 in
+  let nodes = ref 0 and presolved_components = ref 0 in
+  let certified = ref 0 and resumed = ref 0 and degraded = ref 0 in
+  let worst = ref neg_infinity in
+  let disproof = ref None in
+  let best_component outputs =
+    let k = ref 0 and v = ref neg_infinity in
+    for c = 0 to components - 1 do
+      let x = outputs.(Nn.Gmm.mu_lat_index ~components c) in
+      if x > !v then begin
+        v := x;
+        k := c
+      end
+    done;
+    (!k, !v)
+  in
+  let witness_of_input input =
+    let outputs = Nn.Network.forward net input in
+    let component, achieved = best_component outputs in
+    { input; outputs; achieved; component }
+  in
+  (* A revalidated disproof still leaves a full audit trail: the
+     witness certificate is self-checked through the same replay the
+     independent audit runs and journaled into the leaf's directory, so
+     the shard audit and the store both confirm it without ever
+     trusting the foreign entry it came from. *)
+  let emit_witness_cert ~dir ~lprop ~lhash (w : witness) =
+    let cert =
+      {
+        Certify.Certificate.net_hash;
+        property = lprop;
+        component = w.component;
+        output = Nn.Gmm.mu_lat_index ~components w.component;
+        body =
+          Certify.Certificate.Witness
+            { input = w.input; achieved = w.achieved };
+      }
+    in
+    match Certify.Audit.check_certificate net cert with
+    | Error _ -> false
+    | Ok _ ->
+        Certify.Journal.init dir;
+        let name = Printf.sprintf "component-%d.cert" w.component in
+        Certify.Journal.write_cert ~dir ~name
+          (Certify.Certificate.to_string cert);
+        Certify.Journal.append ~dir
+          {
+            Certify.Journal.component = w.component;
+            verdict = "disproved";
+            cert_file = Some name;
+            net_hash;
+            prop_hash = lhash;
+          };
+        incr certified;
+        true
+  in
+  (match shard_root with
+   | Some root ->
+       (* Certifying pipeline: sequential leaves (certified campaigns
+          trade speed for auditability throughout the driver). *)
+       let s = Option.get store in
+       let solve_leaf idx leaf_dir ~had_candidate =
+         let slice = budget_slice ~deadline ~queue_len:(n - idx) () in
+         if
+           Linalg.Mclock.now () >= deadline
+           && plan.Partition.upper.(idx) > threshold
+         then begin
+           (* Out of budget: an honest unattempted Unknown — paying the
+              leaf encoding would overrun the whole-call deadline. *)
+           incr unsettled;
+           worst := Float.max !worst plan.Partition.upper.(idx)
+         end
+         else begin
+           let r =
+             prove_certified ?session ~time_limit:slice ~bound_mode ~cores:1
+               ~warm ~lp_core ~certify_dir:(Some leaf_dir) ~resume:true
+               ~watchdog ~components ~threshold net
+               plan.Partition.boxes.(idx)
+           in
+           nodes := !nodes + r.proof_nodes;
+           presolved_components := !presolved_components + r.presolved;
+           certified := !certified + r.certified;
+           resumed := !resumed + r.resumed;
+           degraded := !degraded + r.degraded;
+           ignore (Certify.Store.record s ~net_hash leaf_props.(idx));
+           match r.proof with
+           | Disproved w ->
+               incr solved;
+               disproof := Some w
+           | Proved ->
+               if r.presolved = components && r.proof_nodes = 0 then
+                 if had_candidate then incr revalidated
+                 else incr presolved_leaves
+               else incr solved;
+               worst :=
+                 Float.max !worst
+                   (Float.min plan.Partition.upper.(idx) threshold)
+           | Unknown { best_bound } ->
+               incr unsettled;
+               worst := Float.max !worst best_bound
+         end
+       in
+       let i = ref 0 in
+       while !disproof = None && !i < n do
+         let idx = !i in
+         incr i;
+         let lprop = leaf_props.(idx) in
+         let lhash = leaf_hashes.(idx) in
+         let leaf_dir = Filename.concat root lhash in
+         match Certify.Store.lookup s ~net_hash lprop with
+         | Some { Certify.Store.entry; _ } -> (
+             incr cached;
+             match entry.Certify.Store.verdict with
+             | Certify.Store.Proved ->
+                 worst :=
+                   Float.max !worst
+                     (Float.min plan.Partition.upper.(idx) threshold)
+             | Certify.Store.Disproved { witness = input; achieved = _ } ->
+                 disproof := Some (witness_of_input input))
+         | None -> (
+             let candidates =
+               Certify.Store.revalidation_candidates s ~net_hash lprop
+             in
+             let witness_hit =
+               List.find_map
+                 (fun (e : Certify.Store.entry) ->
+                   match e.Certify.Store.verdict with
+                   | Certify.Store.Disproved { witness = input; _ }
+                     when Interval.Box.contains plan.Partition.boxes.(idx)
+                            input -> (
+                       let w = witness_of_input input in
+                       if w.achieved > threshold then Some w else None)
+                   | _ -> None)
+                 candidates
+             in
+             match witness_hit with
+             | Some w when emit_witness_cert ~dir:leaf_dir ~lprop ~lhash w ->
+                 incr revalidated;
+                 ignore (Certify.Store.record s ~net_hash lprop);
+                 disproof := Some w
+             | _ ->
+                 let had_candidate =
+                   List.exists
+                     (fun (e : Certify.Store.entry) ->
+                       e.Certify.Store.verdict = Certify.Store.Proved)
+                     candidates
+                 in
+                 solve_leaf idx leaf_dir ~had_candidate)
+       done
+   | None -> (
+       (* Plain pipeline: the plan's symbolic bounds discharge leaves
+          inline; the survivors run as independent MILPs. *)
+       let survivors = ref [] in
+       for idx = n - 1 downto 0 do
+         if plan.Partition.upper.(idx) <= threshold then begin
+           incr presolved_leaves;
+           worst := Float.max !worst plan.Partition.upper.(idx)
+         end
+         else survivors := idx :: !survivors
+       done;
+       let surv = Array.of_list !survivors in
+       let n_surv = Array.length surv in
+       let classify idx (r : proof_result) =
+         nodes := !nodes + r.proof_nodes;
+         presolved_components := !presolved_components + r.presolved;
+         degraded := !degraded + r.degraded;
+         match r.proof with
+         | Disproved w ->
+             incr solved;
+             disproof := Some w
+         | Proved ->
+             if r.presolved = components && r.proof_nodes = 0 then
+               incr presolved_leaves
+             else incr solved;
+             worst :=
+               Float.max !worst
+                 (Float.min plan.Partition.upper.(idx) threshold)
+         | Unknown { best_bound } ->
+             incr unsettled;
+             worst := Float.max !worst best_bound
+       in
+       (* OBBT is skipped per leaf ([tighten_rounds = 0]): its budget
+          share would dominate hundreds of small boxes, and the
+          symbolic pre-pass is what partition relies on. *)
+       if cores > 1 && n_surv > 1 && portfolio = None then begin
+         let fan = min cores n_surv in
+         let per_domain = (n_surv + fan - 1) / fan in
+         let slice = budget_slice ~deadline ~queue_len:per_domain () in
+         let stop = Atomic.make false in
+         let results =
+           Milp.Parallel.map ~cores:fan
+             ~init:(fun () -> ())
+             (fun () idx ->
+               if Atomic.get stop then None
+               else begin
+                 let r =
+                   prove_plain ~time_limit:slice ~bound_mode
+                     ~tighten_rounds:0 ~cores:1 ~portfolio:None ~warm
+                     ~lp_core ~components ~threshold net
+                     plan.Partition.boxes.(idx)
+                 in
+                 (match r.proof with
+                  | Disproved _ -> Atomic.set stop true
+                  | Proved | Unknown _ -> ());
+                 Some (idx, r)
+               end)
+             surv
+         in
+         Array.iter
+           (function None -> () | Some (idx, r) -> classify idx r)
+           results
+       end
+       else begin
+         let i = ref 0 in
+         while !disproof = None && !i < n_surv do
+           let idx = surv.(!i) in
+           let slice = budget_slice ~deadline ~queue_len:(n_surv - !i) () in
+           incr i;
+           if Linalg.Mclock.now () >= deadline then begin
+             incr unsettled;
+             worst := Float.max !worst plan.Partition.upper.(idx)
+           end
+           else
+             classify idx
+               (prove_plain ~time_limit:slice ~bound_mode ~tighten_rounds:0
+                  ~cores ~portfolio ~warm ~lp_core ~components ~threshold net
+                  plan.Partition.boxes.(idx))
+         done
+       end));
+  let stats =
+    {
+      Partition.leaves = n;
+      depth = plan.Partition.plan_depth;
+      presolved = !presolved_leaves;
+      cached = !cached;
+      revalidated = !revalidated;
+      solved = !solved;
+      unsettled = !unsettled;
+    }
+  in
+  let proof =
+    match !disproof with
+    | Some w -> Disproved w
+    | None ->
+        if !unsettled = 0 && !worst <= threshold then Proved
+        else Unknown { best_bound = !worst }
+  in
+  {
+    proof;
+    proof_elapsed = Linalg.Mclock.now () -. started;
+    proof_nodes = !nodes;
+    presolved = !presolved_components;
+    certified = !certified;
+    resumed = !resumed;
+    degraded = !degraded;
+    partition = Some stats;
   }
 
 let prove_lateral_velocity_le ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(tighten_rounds = 1)
     ?(cores = 1) ?portfolio ?(warm = true) ?lp_core ?certify_dir
-    ?(resume = false) ?(watchdog = false) ~components ~threshold net box =
-  if certify_dir = None && not watchdog then
-    prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
-      ~warm ~lp_core ~components ~threshold net box
-  else
-    prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core ~certify_dir
-      ~resume ~watchdog ~components ~threshold net box
+    ?(resume = false) ?(watchdog = false) ?split ?store ~components ~threshold
+    net box =
+  match split with
+  | Some policy ->
+      prove_partitioned ~time_limit ~bound_mode ~cores ~portfolio ~warm
+        ~lp_core ~certify_dir ~store ~watchdog ~policy ~components ~threshold
+        net box
+  | None ->
+      if certify_dir = None && not watchdog then
+        prove_plain ~time_limit ~bound_mode ~tighten_rounds ~cores ~portfolio
+          ~warm ~lp_core ~components ~threshold net box
+      else
+        prove_certified ~time_limit ~bound_mode ~cores ~warm ~lp_core
+          ~certify_dir ~resume ~watchdog ~components ~threshold net box
 
 let prove_in_session session ?(time_limit = 60.0)
     ?(bound_mode = Encoding.Encoder.Interval_bounds) ?(warm = true) ?lp_core
-    ?certify_dir ?(resume = false) ?(watchdog = true) ~components ~threshold
-    box =
-  prove_certified ~session ~time_limit ~bound_mode ~cores:1 ~warm ~lp_core
-    ~certify_dir ~resume ~watchdog ~components ~threshold session.session_net
-    box
+    ?certify_dir ?(resume = false) ?(watchdog = true) ?split ?store ~components
+    ~threshold box =
+  match split with
+  | Some policy ->
+      prove_partitioned ~session ~time_limit ~bound_mode ~cores:1
+        ~portfolio:None ~warm ~lp_core ~certify_dir ~store ~watchdog ~policy
+        ~components ~threshold session.session_net box
+  | None ->
+      prove_certified ~session ~time_limit ~bound_mode ~cores:1 ~warm ~lp_core
+        ~certify_dir ~resume ~watchdog ~components ~threshold
+        session.session_net box
 
 let sampled_max_lateral_velocity ~rng ~samples ~components net box =
   if samples <= 0 then invalid_arg "Driver.sampled_max_lateral_velocity";

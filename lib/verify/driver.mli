@@ -127,7 +127,20 @@ type proof_result = {
   degraded : int;
       (** watchdog fallback-ladder transitions taken (a rung timed out
           or failed numerically and the next one was tried) *)
+  partition : Partition.stats option;
+      (** leaf accounting when the query ran partitioned ([?split]);
+          [None] for a monolithic solve *)
 }
+
+val budget_slice : ?now:float -> deadline:float -> queue_len:int -> unit -> float
+(** The whole-call budget contract's per-query slice: an equal share of
+    the time remaining at [now] (default: the monotonic clock) across
+    [queue_len] queries still pending, floored at a minimum slice of
+    0.2 s — so late queries in a long queue are attempted rather than
+    starved by rounding the remainder down to nothing — and clamped to
+    the remaining budget itself, so the floor can never grant time the
+    caller no longer has. Exposed for tests. *)
+
 
 val prove_lateral_velocity_le :
   ?time_limit:float ->
@@ -140,6 +153,8 @@ val prove_lateral_velocity_le :
   ?certify_dir:string ->
   ?resume:bool ->
   ?watchdog:bool ->
+  ?split:Partition.policy ->
+  ?store:Certify.Store.t ->
   components:int ->
   threshold:float ->
   Nn.Network.t ->
@@ -179,7 +194,25 @@ val prove_lateral_velocity_le :
     degrades along a fallback ladder — symbolic-only presolve, sparse
     MILP, dense MILP, honest [Unknown] — catching per-rung numerical
     failures instead of aborting the campaign ([degraded] counts the
-    transitions). *)
+    transitions).
+
+    [split] switches to partition-and-conquer: the input box is bisected
+    along its most influential dimensions ({!Partition.plan}) and each
+    leaf runs the cheapest-first pipeline — proof-store lookup,
+    cross-network revalidation, symbolic pre-pass, MILP — under a
+    rolled-forward slice of the same whole-call budget. One disproved
+    leaf disproves the parent (the witness lies inside the parent box)
+    and stops the campaign; [Proved] requires every leaf settled. With
+    [certify_dir] (or an explicit [store]) each leaf writes its own
+    certificate directory named by its property hash, the store caches
+    each verdict as it lands, and a checksummed {!Certify.Shard}
+    manifest records the split tree so the audit can re-establish that
+    the leaves tile the parent box. [store] (default: opened on
+    [certify_dir] when present) also supplies the cross-network entries
+    whose disproving witnesses are replayed through the current network
+    — the mechanism that answers most leaves from cache after a
+    retrain. [split] ignores [resume] (per-leaf resume is implied) and
+    [tighten_rounds] (OBBT per leaf would dominate many small boxes). *)
 
 (** {2 Sessions}
 
@@ -210,6 +243,8 @@ val prove_in_session :
   ?certify_dir:string ->
   ?resume:bool ->
   ?watchdog:bool ->
+  ?split:Partition.policy ->
+  ?store:Certify.Store.t ->
   components:int ->
   threshold:float ->
   Interval.Box.box ->
@@ -219,7 +254,9 @@ val prove_in_session :
     encoding memo threaded through. [watchdog] defaults to [true] here
     (a server must degrade to an honest [Unknown], never abort), and
     the solve is sequential within the session — parallelism belongs to
-    the caller's worker pool. *)
+    the caller's worker pool. [split]/[store] behave as in
+    {!prove_lateral_velocity_le}, reusing the session's cached network
+    hash for the leaf property hashes. *)
 
 val sampled_max_lateral_velocity :
   rng:Linalg.Rng.t ->

@@ -137,6 +137,55 @@ let prop_affine_sound =
           result.Interval.lo -. 1e-9 <= !v && !v <= result.Interval.hi +. 1e-9)
         samples)
 
+(* Regression: the midpoint used to be [0.5 *. (lo +. hi)], which
+   overflows to [inf] for large same-sign finite bounds and is NaN for
+   [-inf, inf]. The splitter bisects at exactly this point, so [mid]
+   must stay inside the interval and finite for every extreme box. *)
+let gen_extreme_bound =
+  QCheck.Gen.oneofl
+    [
+      neg_infinity;
+      -.Float.max_float;
+      -1.6e308;
+      -1e308;
+      -1.0;
+      -.Float.min_float;
+      0.0;
+      Float.min_float;
+      1.0;
+      1e308;
+      1.6e308;
+      Float.max_float;
+      infinity;
+    ]
+
+let gen_extreme_interval =
+  QCheck.Gen.map
+    (fun (a, b) -> Interval.make (Float.min a b) (Float.max a b))
+    QCheck.Gen.(pair gen_extreme_bound gen_extreme_bound)
+
+let prop_mid_extreme =
+  QCheck.Test.make ~name:"mid of extreme intervals" ~count:500
+    (QCheck.make gen_extreme_interval) (fun i ->
+      let m = Interval.mid i in
+      (not (Float.is_nan m))
+      && Interval.contains i m
+      && (Float.is_finite m || i.Interval.lo = i.Interval.hi))
+
+let test_mid_known_extremes () =
+  Alcotest.(check (float 0.0)) "[-inf,inf]" 0.0
+    (Interval.mid (Interval.make neg_infinity infinity));
+  Alcotest.(check (float 0.0)) "large same-sign" 1.35e308
+    (Interval.mid (Interval.make 1e308 1.7e308));
+  Alcotest.(check (float 0.0)) "full finite range" 0.0
+    (Interval.mid (Interval.make (-.Float.max_float) Float.max_float));
+  Alcotest.(check (float 0.0)) "half-infinite hi" Float.max_float
+    (Interval.mid (Interval.make 0.0 infinity));
+  Alcotest.(check (float 0.0)) "half-infinite lo" (-.Float.max_float)
+    (Interval.mid (Interval.make neg_infinity 0.0));
+  Alcotest.(check (float 0.0)) "infinite point" infinity
+    (Interval.mid (Interval.make infinity infinity))
+
 let prop_box_sample_inside =
   QCheck.Test.make ~name:"box samples inside" ~count:100
     (QCheck.make QCheck.Gen.(list_size (return 5) gen_interval))
@@ -163,6 +212,7 @@ let () =
           quick "relu/tanh" test_relu_tanh;
           quick "affine" test_affine_known;
           quick "box helpers" test_box_helpers;
+          quick "mid extremes" test_mid_known_extremes;
         ] );
       ( "soundness",
         List.map QCheck_alcotest.to_alcotest
@@ -173,6 +223,7 @@ let () =
             prop_relu_sound;
             prop_tanh_sound;
             prop_affine_sound;
+            prop_mid_extreme;
             prop_box_sample_inside;
           ] );
     ]
